@@ -1,0 +1,61 @@
+// Shared helpers for the experiment benches (E1..E12): named topology
+// factory and wall-clock timing. Each bench binary prints the table/series
+// of one experiment from DESIGN.md §5.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+
+namespace mm::bench {
+
+struct NamedGraph {
+  std::string name;
+  graph::Graph g;
+};
+
+/// The topology suite used across the consensus experiments, at size n.
+/// Random-regular instances are seeded deterministically per (n, d).
+inline std::vector<NamedGraph> consensus_topologies(std::size_t n) {
+  std::vector<NamedGraph> out;
+  out.push_back({"edgeless", graph::edgeless(n)});
+  out.push_back({"ring", graph::ring(n)});
+  if (n % 2 == 0) out.push_back({"chordal-ring", graph::chordal_ring(n)});
+  if (n == 16) out.push_back({"torus-4x4", graph::torus(4, 4)});
+  for (std::size_t d : {3u, 4u}) {
+    if ((n * d) % 2 != 0 || d >= n) continue;
+    Rng rng{n * 1009 + d};
+    out.push_back({"rreg-d" + std::to_string(d), graph::random_regular_must(n, d, rng)});
+  }
+  // Explicit expander where n is a perfect square.
+  for (std::size_t m = 2; m * m <= n; ++m) {
+    if (m * m == n) out.push_back({"gabber-galil", graph::gabber_galil(m)});
+  }
+  out.push_back({"complete", graph::complete(n)});
+  return out;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace mm::bench

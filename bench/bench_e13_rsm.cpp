@@ -1,0 +1,165 @@
+// E13 (extension) — replicated state machine over m&m consensus.
+//
+// The paper's conclusion asks for algorithms evaluated "in practice"; the
+// natural practice for consensus is a replicated log. Each slot is a
+// multivalued (bit-by-bit) consensus over HBO, so the log inherits HBO's
+// beyond-majority fault tolerance. We measure slot decision cost by n, and
+// show the log surviving a crash wave that kills 2/3 of the replicas.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/paxos_log.hpp"
+#include "core/rsm.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace {
+
+struct RsmResult {
+  bool ok = false;
+  double steps_per_slot = 0.0;
+  double msgs_per_slot = 0.0;
+  double reg_ops_per_slot = 0.0;
+};
+
+RsmResult run_rsm(std::size_t n, std::size_t slots, std::uint64_t seed,
+                  std::uint64_t crash_mask, mm::Step crash_at) {
+  using namespace mm;
+  const graph::Graph gsm = graph::complete(n);
+  runtime::SimConfig sim;
+  sim.gsm = gsm;
+  sim.seed = seed;
+  sim.crash_at.assign(n, std::nullopt);
+  for (std::size_t p = 0; p < n; ++p)
+    if ((crash_mask >> p) & 1ULL) sim.crash_at[p] = crash_at;
+  runtime::SimRuntime rt{std::move(sim)};
+
+  std::vector<std::unique_ptr<core::LogReplica>> replicas;
+  for (std::size_t p = 0; p < n; ++p) {
+    core::LogReplica::Config rc;
+    rc.gsm = &gsm;
+    rc.command_bits = 16;
+    rc.max_slots = static_cast<std::uint32_t>(slots);
+    replicas.push_back(std::make_unique<core::LogReplica>(rc));
+    rt.add_process([replica = replicas.back().get(), slots, p](runtime::Env& env) {
+      for (std::size_t s = 0; s < slots; ++s)
+        if (!replica->run_slot(env, ((p + 1) << 8) | s).has_value()) return;
+    });
+  }
+  rt.run_until_all_done(30'000'000);
+  rt.shutdown();
+  rt.rethrow_process_error();
+
+  RsmResult res;
+  // Find a surviving replica with a full log; all full logs must be equal.
+  const std::vector<std::uint64_t>* reference = nullptr;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (replicas[p]->log().size() == slots && !rt.crashed(Pid{static_cast<std::uint32_t>(p)})) {
+      reference = &replicas[p]->log();
+      break;
+    }
+  }
+  if (reference == nullptr) return res;
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& log = replicas[p]->log();
+    for (std::size_t s = 0; s < log.size(); ++s) {
+      if (log[s] != (*reference)[s]) return res;  // prefix disagreement = bug
+    }
+  }
+  res.ok = true;
+  const auto slots_d = static_cast<double>(slots);
+  res.steps_per_slot = static_cast<double>(rt.now()) / slots_d;
+  res.msgs_per_slot = static_cast<double>(rt.metrics().msgs_sent) / slots_d;
+  res.reg_ops_per_slot = static_cast<double>(rt.metrics().reg_reads + rt.metrics().reg_writes +
+                                             rt.metrics().reg_cas_ops) /
+                         slots_d;
+  return res;
+}
+
+/// The message-passing contrast: Multi-Paxos over the same Ω, same client
+/// model. Returns whether every surviving replica committed its commands.
+bool run_paxos_log(std::size_t n, std::uint64_t seed, std::uint64_t crash_mask,
+                   mm::Step crash_at, mm::Step budget) {
+  using namespace mm;
+  runtime::SimConfig sim;
+  sim.gsm = graph::complete(n);
+  sim.seed = seed;
+  sim.timely = Pid{0};
+  sim.crash_at.assign(n, std::nullopt);
+  for (std::size_t p = 0; p < n; ++p)
+    if ((crash_mask >> p) & 1ULL) sim.crash_at[p] = crash_at;
+  runtime::SimRuntime rt{std::move(sim)};
+
+  std::vector<std::unique_ptr<core::PaxosLog>> replicas;
+  for (std::size_t p = 0; p < n; ++p) {
+    replicas.push_back(std::make_unique<core::PaxosLog>(
+        core::PaxosLog::Config{}, std::vector<std::uint64_t>{p * 10 + 1, p * 10 + 2}));
+    rt.add_process([r = replicas.back().get()](runtime::Env& env) { r->run(env); });
+  }
+  bool done = false;
+  while (!done && rt.now() < budget) {
+    rt.run_steps(4'000);
+    done = true;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (rt.crashed(Pid{static_cast<std::uint32_t>(p)})) continue;
+      done = done && replicas[p]->all_mine_committed();
+    }
+  }
+  rt.request_stop();
+  rt.run_until_all_done(rt.now() + 4'000'000);
+  rt.shutdown();
+  rt.rethrow_process_error();
+  return done;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mm;
+  bench::banner("E13 (extension): replicated log over m&m consensus",
+                "16-bit commands, one bit-by-bit multivalued consensus per slot.\n"
+                "Expected shape: per-slot cost ~ bits x crash-free HBO cost; the crash-wave\n"
+                "row keeps deciding with only 1/3 of replicas alive (complete GSM).");
+
+  Table table{{"n", "slots", "crash wave", "all logs agree", "steps/slot", "msgs/slot",
+               "reg ops/slot", "ms"}};
+  struct Case {
+    std::size_t n;
+    std::uint64_t crash_mask;
+    const char* label;
+  };
+  for (const Case& c : {Case{4, 0, "none"}, Case{6, 0, "none"},
+                        Case{6, 0b101101, "4/6 at step 3k (mid-log)"}}) {
+    bench::WallTimer timer;
+    const auto res = run_rsm(c.n, 8, 99, c.crash_mask, 3'000);
+    table.row()
+        .cell(c.n)
+        .cell(std::size_t{8})
+        .cell(c.label)
+        .cell(res.ok)
+        .cell(res.steps_per_slot, 0)
+        .cell(res.msgs_per_slot, 0)
+        .cell(res.reg_ops_per_slot, 0)
+        .cell(timer.ms(), 0);
+    if (!res.ok) return 1;
+  }
+  table.print();
+
+  // The contrast, demonstrated rather than asserted: the same crash wave
+  // against an actual Multi-Paxos log (same Ω, same client model).
+  std::printf("\nmessage-passing Multi-Paxos log under the same adversary:\n");
+  Table mp{{"n", "crash wave", "all commands committed", "ms"}};
+  {
+    bench::WallTimer timer;
+    const bool ok = run_paxos_log(6, 99, 0, 0, 6'000'000);
+    mp.row().cell(std::size_t{6}).cell("none").cell(ok).cell(timer.ms(), 0);
+  }
+  {
+    bench::WallTimer timer;
+    const bool ok = run_paxos_log(6, 99, 0b101101, 3'000, 1'200'000);
+    mp.row().cell(std::size_t{6}).cell("4/6 at step 3k (mid-log)").cell(ok).cell(timer.ms(), 0);
+  }
+  mp.print();
+  std::printf("\nMulti-Paxos wedges permanently once its majority is gone; the m&m log\n"
+              "above keeps committing with 2 of 6 replicas alive.\n");
+  return 0;
+}

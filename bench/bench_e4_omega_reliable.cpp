@@ -1,0 +1,60 @@
+// E4 — Theorem 5.1: Ω with reliable links; steady state = zero messages,
+// leader writes one register, everyone else reads it.
+//
+// For n ∈ {4, 8, 16}: stabilization time, then per-1000-step operation rates
+// after stabilization, split by role. The theorem's observables:
+//   steady msgs/1k = 0;  leader writes > 0;  leader READS = 0;
+//   others writes = 0;   others reads > 0.
+// Plus failover time after the stable leader crashes.
+#include "bench_common.hpp"
+#include "core/trial.hpp"
+
+int main() {
+  using namespace mm;
+  bench::banner("E4: m&m leader election, reliable links (Thm 5.1)",
+                "Rates are per process per 1000 scheduler steps, averaged over 5 seeds.\n"
+                "Expected shape: zero steady-state messages; only the leader writes;\n"
+                "the leader never reads; failover stays bounded.");
+
+  Table table{{"n", "stabilize (steps)", "failover (steps)", "msgs/1k", "leader wr/1k",
+               "leader rd/1k", "others wr/1k", "others rd/1k", "ms"}};
+
+  for (const std::size_t n : {4u, 8u, 16u}) {
+    bench::WallTimer timer;
+    RunningStats stab, fail, msgs, lw, lr, ow, orate;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      core::OmegaTrialConfig cfg;
+      cfg.n = n;
+      cfg.seed = seed * 11;
+      cfg.algo = core::OmegaAlgo::kMnmReliable;
+      cfg.timely = Pid{1};
+      cfg.crash_leader_at = 30'000;
+      cfg.budget = 2'000'000;
+      const auto res = core::run_omega_trial(cfg);
+      if (!res.stabilized) {
+        std::printf("!! n=%zu seed %llu did not stabilize\n", n,
+                    static_cast<unsigned long long>(seed));
+        return 1;
+      }
+      stab.add(static_cast<double>(res.stabilization_step));
+      fail.add(static_cast<double>(res.failover_step));
+      msgs.add(res.steady_msgs_per_1k);
+      lw.add(res.leader_writes_per_1k);
+      lr.add(res.leader_reads_per_1k);
+      ow.add(res.others_writes_per_1k);
+      orate.add(res.others_reads_per_1k);
+    }
+    table.row()
+        .cell(n)
+        .cell(stab.mean(), 0)
+        .cell(fail.mean(), 0)
+        .cell(msgs.mean(), 2)
+        .cell(lw.mean(), 2)
+        .cell(lr.mean(), 2)
+        .cell(ow.mean(), 2)
+        .cell(orate.mean(), 2)
+        .cell(timer.ms(), 0);
+  }
+  table.print();
+  return 0;
+}

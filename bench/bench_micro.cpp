@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark): primitive costs of the substrate —
+// simulator scheduling steps, register operations under both runtimes,
+// adopt-commit and consensus-object proposals, and a small end-to-end HBO.
+// These are the constants behind the experiment tables' wall-clock columns.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/hbo.hpp"
+#include "core/tags.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "shm/adopt_commit.hpp"
+#include "shm/consensus_object.hpp"
+
+namespace {
+
+using namespace mm;
+
+// One scheduler handoff round-trip: the simulator's unit cost.
+void BM_SimStep(benchmark::State& state) {
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  runtime::SimRuntime rt{cfg};
+  rt.add_process([](runtime::Env& env) {
+    for (;;) env.step();
+  });
+  rt.start();
+  for (auto _ : state) rt.run_steps(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimStep);
+
+// Register write through the simulator (includes the auto-step handoff).
+void BM_SimRegisterWrite(benchmark::State& state) {
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  runtime::SimRuntime rt{cfg};
+  rt.add_process([](runtime::Env& env) {
+    const RegId r = env.reg(runtime::RegKey::make(core::kTagState, Pid{0}));
+    for (std::uint64_t i = 0;; ++i) env.write(r, i);
+  });
+  rt.start();
+  for (auto _ : state) rt.run_steps(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimRegisterWrite);
+
+// Adopt-commit propose, solo proposer (the fast path HBO hits every round).
+void BM_AdoptCommitPropose(benchmark::State& state) {
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  runtime::SimRuntime rt{cfg};
+  rt.set_auto_step_on_shm(false);
+  std::uint64_t round = 0;
+  rt.add_process([&round](runtime::Env& env) {
+    for (;; ++round) {
+      const shm::AdoptCommit ac{runtime::RegKey::make(0x21, Pid{0}, round), 2};
+      benchmark::DoNotOptimize(ac.propose(env, 1));
+      env.step();
+    }
+  });
+  rt.start();
+  for (auto _ : state) rt.run_steps(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(round));
+}
+BENCHMARK(BM_AdoptCommitPropose);
+
+// Consensus-object propose by implementation.
+void BM_ConsensusPropose(benchmark::State& state) {
+  const auto impl = static_cast<shm::ConsensusImpl>(state.range(0));
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  runtime::SimRuntime rt{cfg};
+  rt.set_auto_step_on_shm(false);
+  std::uint64_t round = 0;
+  rt.add_process([&round, impl](runtime::Env& env) {
+    for (;; ++round) {
+      const shm::ConsensusObject obj{runtime::RegKey::make(0x22, Pid{0}, round % (1 << 20)),
+                                     2, impl};
+      benchmark::DoNotOptimize(obj.propose(env, 1));
+      env.step();
+    }
+  });
+  rt.start();
+  for (auto _ : state) rt.run_steps(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(round));
+  state.SetLabel(shm::to_string(impl));
+}
+BENCHMARK(BM_ConsensusPropose)->Arg(0)->Arg(1);
+
+// End-to-end crash-free HBO on a degree-3 expander, per full consensus.
+void BM_HboEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng{n * 13 + seed};
+    const graph::Graph gsm =
+        (n * 3) % 2 == 0 ? graph::random_regular_must(n, 3, rng) : graph::chordal_ring(n);
+    runtime::SimConfig cfg;
+    cfg.gsm = gsm;
+    cfg.seed = ++seed;
+    runtime::SimRuntime rt{std::move(cfg)};
+    std::vector<std::unique_ptr<core::HboConsensus>> algs;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      core::HboConsensus::Config hc;
+      hc.gsm = &gsm;
+      algs.push_back(std::make_unique<core::HboConsensus>(hc, p % 2));
+      rt.add_process([alg = algs.back().get()](runtime::Env& env) { alg->run(env); });
+    }
+    const bool ok = rt.run_until_all_done(4'000'000);
+    rt.shutdown();
+    if (!ok) state.SkipWithError("budget exhausted");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HboEndToEnd)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Exact expansion enumeration cost by n (the analysis-side budget).
+void BM_ExactExpansion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng{n};
+  const graph::Graph g = graph::random_regular_must(n, 4, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::vertex_expansion_exact(g));
+}
+BENCHMARK(BM_ExactExpansion)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

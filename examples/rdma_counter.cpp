@@ -1,0 +1,73 @@
+// Shared counters over simulated RDMA verbs, under real threads.
+//
+// A cluster of hosts increments a counter pinned on host 0 with one-sided
+// fetch-add verbs. The run demonstrates (a) the Verbs facade over the m&m
+// register layer, (b) exact atomicity under real concurrency, and (c) the
+// locality split from §5.3: host 0's accesses are local, everyone else pays
+// the remote-verb cost — quantified with the RDMA cost model.
+//
+//   $ ./rdma_counter [hosts] [increments] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "rdma/cost_model.hpp"
+#include "rdma/region.hpp"
+#include "rdma/verbs.hpp"
+#include "runtime/thread_runtime.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t hosts = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const std::uint64_t increments = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20'000;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  mm::runtime::ThreadRuntime::Config cfg;
+  cfg.gsm = mm::graph::complete(hosts);
+  cfg.seed = seed;
+  mm::runtime::ThreadRuntime rt{cfg};
+
+  constexpr std::uint8_t kCounterTag = 0x31;
+  std::atomic<std::uint64_t> final_value{0};
+  std::atomic<std::size_t> done{0};
+
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    rt.add_process([&, h](mm::runtime::Env& env) {
+      const mm::rdma::MemoryRegion counter{mm::Pid{0}, kCounterTag, 1};
+      (void)h;
+      for (std::uint64_t i = 0; i < increments; ++i)
+        (void)mm::rdma::Verbs::fetch_add(env, counter, 0, 1);
+      done.fetch_add(1);
+      // Barrier, then read the settled value (identical on every host).
+      while (done.load() < hosts) env.step();
+      final_value.store(mm::rdma::Verbs::read(env, counter, 0));
+    });
+  }
+  rt.start();
+  rt.join_all();
+  rt.rethrow_process_error();
+
+  const auto metrics = rt.metrics_snapshot();
+  const mm::rdma::CostModel model;
+
+  std::printf("counter pinned on host 0; %zu hosts x %llu fetch-adds\n", hosts,
+              static_cast<unsigned long long>(increments));
+  std::printf("final value: %llu (expected %llu)\n\n",
+              static_cast<unsigned long long>(final_value.load()),
+              static_cast<unsigned long long>(hosts * increments));
+
+  mm::Table table{{"host", "reads", "remote reads", "CAS ops share", "modeled comm time (ms)"}};
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    table.row()
+        .cell("h" + std::to_string(h))
+        .cell(metrics.reads_by_proc[h])
+        .cell(metrics.remote_reads_by_proc[h])
+        .cell(h == 0 ? "local" : "remote")
+        .cell(model.process_time_ns(metrics, mm::Pid{h}) / 1e6, 2);
+  }
+  table.print();
+  std::printf("\nhost 0 owns the counter and pays ~%.0fns per access; remote hosts pay the\n"
+              "one-sided verb cost — the placement argument behind §5.3's local leader.\n",
+              model.local_access_ns);
+  return final_value.load() == hosts * increments ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Long-running safety soak: re-run the E17 randomized campaign with many
+# base seeds. Any nonzero exit is a reproducible safety violation (the
+# campaign prints its base seed).
+#
+#   scripts/soak.sh [rounds] [trials-per-cell]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rounds="${1:-20}"
+trials="${2:-120}"
+bench="build/bench/bench_e17_campaign"
+
+if [[ ! -x "$bench" ]]; then
+  echo "build first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 2
+fi
+
+for ((i = 1; i <= rounds; ++i)); do
+  seed=$((20180723 + i * 1000003))
+  echo "=== soak round $i/$rounds (base seed $seed) ==="
+  "$bench" "$seed" "$trials" | tail -n 3
+done
+echo "soak finished: $((rounds * trials * 2)) randomized adversarial runs, 0 violations"

@@ -1,0 +1,84 @@
+#include "check/explore.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mm::check {
+
+using runtime::SimRuntime;
+
+ExploreResult explore_schedules(
+    const std::function<std::unique_ptr<SimRuntime>()>& make,
+    const std::function<void(SimRuntime&)>& verify, const ExploreOptions& options) {
+  ExploreResult result;
+  std::vector<std::size_t> prefix;
+
+  for (;;) {
+    auto rt = make();
+    std::vector<std::size_t> degrees;  // branch degree at each decision
+    std::size_t depth = 0;
+    std::uint32_t preemptions = 0;
+    Pid previous = Pid::none();
+    rt->set_schedule_policy([&](const std::vector<Pid>& runnable) {
+      // Preemption bounding: once the budget is spent, a still-runnable
+      // previous process must continue — the decision point collapses
+      // (degree 1), which is what shrinks the tree.
+      std::size_t forced = runnable.size();  // sentinel: not forced
+      if (options.max_preemptions.has_value() && preemptions >= *options.max_preemptions &&
+          !previous.is_none()) {
+        for (std::size_t i = 0; i < runnable.size(); ++i)
+          if (runnable[i] == previous) forced = i;
+      }
+      std::size_t choice;
+      if (forced < runnable.size()) {
+        choice = forced;
+        degrees.push_back(1);
+        MM_ASSERT_MSG(depth >= prefix.size() || prefix[depth] == 0,
+                      "replay diverged on a forced decision");
+      } else {
+        choice = depth < prefix.size() ? prefix[depth] : 0;
+        MM_ASSERT_MSG(choice < runnable.size(),
+                      "replay diverged: recorded choice exceeds branch degree");
+        degrees.push_back(runnable.size());
+      }
+      ++depth;
+      if (!previous.is_none() && runnable[choice] != previous) {
+        // Switching away from a still-runnable process is a preemption;
+        // switching because it finished/blocked is not.
+        for (const Pid p : runnable)
+          if (p == previous) ++preemptions;
+      }
+      previous = runnable[choice];
+      return choice;
+    });
+    const bool completed = rt->run_until_all_done(options.max_steps_per_run);
+    rt->shutdown();
+    rt->rethrow_process_error();
+    if (!completed) result.all_runs_completed = false;
+    verify(*rt);
+    ++result.runs;
+    if (result.runs >= options.max_runs) return result;  // exhausted the budget
+
+    // Backtrack: deepest decision with an untried sibling. The full trace is
+    // the prefix padded with zeros, so scanning `degrees` covers both.
+    std::vector<std::size_t> full = prefix;
+    full.resize(degrees.size(), 0);
+    bool advanced = false;
+    for (std::size_t pos = full.size(); pos-- > 0;) {
+      if (full[pos] + 1 < degrees[pos]) {
+        full[pos] += 1;
+        full.resize(pos + 1);
+        prefix = std::move(full);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      result.exhaustive = true;
+      return result;
+    }
+  }
+}
+
+}  // namespace mm::check

@@ -1,0 +1,100 @@
+#include "check/linearizability.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace mm::check {
+
+namespace {
+
+std::string describe(const RegOp& op) {
+  return std::string{op.is_write ? "write" : "read"} + "(" + std::to_string(op.value) +
+         ") by " + to_string(op.proc) + " [" + std::to_string(op.invoked) + "," +
+         std::to_string(op.responded) + "]";
+}
+
+}  // namespace
+
+LinCheck check_swmr_atomic(std::vector<RegOp> history, std::uint64_t initial) {
+  LinCheck res;
+
+  std::vector<RegOp> writes, reads;
+  for (const RegOp& op : history) {
+    MM_ASSERT_MSG(op.invoked <= op.responded, "operation interval inverted");
+    (op.is_write ? writes : reads).push_back(op);
+  }
+  // The single writer issues writes sequentially; order them by invocation.
+  std::sort(writes.begin(), writes.end(),
+            [](const RegOp& a, const RegOp& b) { return a.invoked < b.invoked; });
+  for (std::size_t i = 0; i + 1 < writes.size(); ++i) {
+    MM_ASSERT_MSG(writes[i].proc == writes[i + 1].proc, "multiple writers in SWMR history");
+    if (writes[i].responded > writes[i + 1].invoked) {
+      res.ok = false;
+      res.violation = "writer overlaps itself: " + describe(writes[i]) + " vs " +
+                      describe(writes[i + 1]);
+      return res;
+    }
+  }
+
+  // Map value → version (1-based; initial value = version 0).
+  std::unordered_map<std::uint64_t, std::size_t> version_of;
+  version_of[initial] = 0;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    MM_ASSERT_MSG(writes[i].value != initial && version_of.count(writes[i].value) == 0,
+                  "write values must be distinct (and differ from the initial value)");
+    version_of[writes[i].value] = i + 1;
+  }
+
+  struct VersionedRead {
+    RegOp op;
+    std::size_t version;
+  };
+  std::vector<VersionedRead> vreads;
+  for (const RegOp& r : reads) {
+    const auto it = version_of.find(r.value);
+    if (it == version_of.end()) {
+      res.ok = false;
+      res.violation = "read of a never-written value: " + describe(r);
+      return res;
+    }
+    vreads.push_back(VersionedRead{r, it->second});
+  }
+
+  for (const VersionedRead& r : vreads) {
+    // (A) a read must not complete before "its" write was invoked.
+    if (r.version > 0) {
+      const RegOp& w = writes[r.version - 1];
+      if (r.op.responded < w.invoked) {
+        res.ok = false;
+        res.violation = "read of the future: " + describe(r.op) + " precedes " + describe(w);
+        return res;
+      }
+    }
+    // (B) no strictly later write completed before the read was invoked.
+    for (std::size_t j = r.version; j < writes.size(); ++j) {
+      if (writes[j].responded < r.op.invoked) {
+        res.ok = false;
+        res.violation = "new-old inversion vs write: " + describe(r.op) + " after " +
+                        describe(writes[j]);
+        return res;
+      }
+    }
+  }
+
+  // (C) reads ordered in real time must not go backwards in versions.
+  for (const VersionedRead& r1 : vreads) {
+    for (const VersionedRead& r2 : vreads) {
+      if (r1.op.responded < r2.op.invoked && r1.version > r2.version) {
+        res.ok = false;
+        res.violation = "new-old inversion between reads: " + describe(r1.op) + " then " +
+                        describe(r2.op);
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mm::check

@@ -1,0 +1,69 @@
+// Linearizability checking for single-writer register histories.
+//
+// The runtimes and the ABD emulation both claim to provide atomic (=
+// linearizable) registers; this checker validates recorded histories. For a
+// SWMR register with distinct write values, atomicity has a clean
+// characterization (Lamport; cf. Gibbons–Korach):
+//   writes w₁ < w₂ < ... are totally ordered by the single writer;
+//   a read r returning wᵢ's value (version i; version 0 = initial value) is
+//   consistent iff
+//     (A) r does not complete before wᵢ was invoked        (no reading the
+//         future),
+//     (B) no write w_j with j > i completed before r was invoked
+//         (no new-old inversion against writes), and
+//   and across reads:
+//     (C) if r₁ completes before r₂ is invoked then version(r₁) ≤
+//         version(r₂)  (no new-old inversion between reads).
+// These conditions are necessary and sufficient for the history to be
+// linearizable when write values are distinct.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mm::check {
+
+struct RegOp {
+  bool is_write = false;
+  std::uint64_t value = 0;  ///< written value / value returned by the read
+  Step invoked = 0;
+  Step responded = 0;
+  Pid proc;
+};
+
+struct LinCheck {
+  bool ok = true;
+  std::string violation;  ///< human-readable description of the first failure
+};
+
+/// Checks a SWMR register history for atomicity. `initial` is the register's
+/// value before any write. Write values must be distinct (asserted); ops
+/// must satisfy invoked ≤ responded. Operations may be passed in any order.
+[[nodiscard]] LinCheck check_swmr_atomic(std::vector<RegOp> history,
+                                         std::uint64_t initial = 0);
+
+/// Convenience recorder: collects ops (thread-safe via external discipline —
+/// one recorder per process, merge at the end).
+class HistoryRecorder {
+ public:
+  void record_write(std::uint64_t value, Step invoked, Step responded, Pid proc) {
+    ops_.push_back(RegOp{true, value, invoked, responded, proc});
+  }
+  void record_read(std::uint64_t value, Step invoked, Step responded, Pid proc) {
+    ops_.push_back(RegOp{false, value, invoked, responded, proc});
+  }
+  [[nodiscard]] const std::vector<RegOp>& ops() const noexcept { return ops_; }
+  /// Merge another recorder's ops into this one.
+  void merge(const HistoryRecorder& other) {
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  }
+
+ private:
+  std::vector<RegOp> ops_;
+};
+
+}  // namespace mm::check

@@ -1,0 +1,49 @@
+// Always-on invariant checks.
+//
+// Distributed-algorithm safety properties (agreement, validity, access
+// control) must be checked in release builds too: benches run RelWithDebInfo
+// and a silent safety violation there would invalidate every measurement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mm {
+
+/// Thrown when an algorithm violates a model rule that the caller may want to
+/// observe (e.g. a process touching a register outside its shared-memory
+/// domain). Distinct from MM_ASSERT, which signals a bug in this library.
+class ModelViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown by register operations when the host holding the register has
+/// suffered a (simulated) memory failure — the paper's §6 future-work model
+/// of partial shared-memory failures [2, 42]. Registers become unavailable,
+/// never corrupted. Algorithms may catch this to degrade gracefully.
+class MemoryFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "mm: invariant failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace mm
+
+#define MM_ASSERT(expr)                                         \
+  do {                                                          \
+    if (!(expr)) ::mm::assert_fail(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define MM_ASSERT_MSG(expr, msg)                                   \
+  do {                                                             \
+    if (!(expr)) ::mm::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,83 @@
+// Core identifier types shared by every mm module.
+//
+// The paper's model (§3) has n processes Π = {0, .., n-1}. We keep process
+// ids as a strong type so that a Pid cannot be silently confused with a
+// register index, a round number, or a host id.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace mm {
+
+/// Identifier of a process in Π = {0, .., n-1}.
+///
+/// A strong wrapper around a 32-bit index. Comparisons order by index, which
+/// the algorithms rely on for deterministic tie-breaking (e.g. leader choice
+/// by (badness, pid) in §5.1).
+class Pid {
+ public:
+  constexpr Pid() noexcept = default;
+  constexpr explicit Pid(std::uint32_t v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  /// Index form, for container subscripting.
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const Pid&) const noexcept = default;
+
+  /// A Pid that never names a real process (used as "no leader yet" etc.).
+  [[nodiscard]] static constexpr Pid none() noexcept {
+    return Pid{std::numeric_limits<std::uint32_t>::max()};
+  }
+  [[nodiscard]] constexpr bool is_none() const noexcept { return *this == none(); }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+[[nodiscard]] inline std::string to_string(Pid p) {
+  return p.is_none() ? std::string{"p?"} : "p" + std::to_string(p.value());
+}
+
+/// Identifier of a shared register inside a RegisterTable.
+class RegId {
+ public:
+  constexpr RegId() noexcept = default;
+  constexpr explicit RegId(std::uint32_t v) noexcept : value_(v) {}
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value_; }
+  constexpr auto operator<=>(const RegId&) const noexcept = default;
+
+  [[nodiscard]] static constexpr RegId none() noexcept {
+    return RegId{std::numeric_limits<std::uint32_t>::max()};
+  }
+  [[nodiscard]] constexpr bool is_none() const noexcept { return *this == none(); }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Logical simulation time, measured in scheduler steps (the paper defines
+/// timeliness in relative steps, not wall-clock time).
+using Step = std::uint64_t;
+
+}  // namespace mm
+
+template <>
+struct std::hash<mm::Pid> {
+  std::size_t operator()(mm::Pid p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value());
+  }
+};
+
+template <>
+struct std::hash<mm::RegId> {
+  std::size_t operator()(mm::RegId r) const noexcept {
+    return std::hash<std::uint32_t>{}(r.value());
+  }
+};

@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mm {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  const std::scoped_lock lock{g_mutex};
+  std::fprintf(stderr, "[mm %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace mm

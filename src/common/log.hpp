@@ -1,0 +1,33 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// enable per-run for debugging adversarial schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace mm {
+
+enum class LogLevel : std::uint8_t { kOff = 0, kError, kInfo, kDebug, kTrace };
+
+/// Global log threshold (process-wide; simulator is single-threaded while
+/// logging is most useful, ThreadRuntime messages may interleave).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level > log_level()) return;
+  std::string msg;
+  ((msg += [&] {
+     if constexpr (std::is_convertible_v<Args, std::string>) return std::string{args};
+     else return std::to_string(args);
+   }()), ...);
+  detail::log_line(level, msg);
+}
+
+}  // namespace mm

@@ -1,0 +1,5 @@
+#include "common/rng.hpp"
+
+// Header-only today; this TU anchors the library and keeps the door open for
+// out-of-line additions without touching every dependent target.
+namespace mm {}

@@ -1,0 +1,80 @@
+// Small statistics helpers used by tests and benches: running summaries and
+// fixed-bucket histograms over step counts / operation counts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mm {
+
+/// Single-pass running summary (Welford). Good enough for bench tables;
+/// avoids keeping every sample when sweeps run thousands of trials.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-quantile sample set; keeps all samples. Use for per-run latencies
+/// where trial counts are modest (≤ ~1e6).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Quantile in [0,1] with linear interpolation; 0 on empty.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] double p99() { return quantile(0.99); }
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+  void reset() noexcept { xs_.clear(); sorted_ = false; }
+
+ private:
+  void sort_if_needed();
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to
+/// the edge buckets so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return counts_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+  /// Render as an ASCII bar chart (for bench output).
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mm

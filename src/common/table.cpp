@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mm {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MM_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MM_ASSERT_MSG(cells.size() == headers_.size(), "row arity must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string s) {
+  cells_.push_back(std::move(s));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(const char* s) { return cell(std::string{s}); }
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+  return cell(fmt(v, precision));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << "|" << std::string(widths[c] + 2, '-');
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+void Table::print() const { std::cout << render() << std::flush; }
+
+}  // namespace mm

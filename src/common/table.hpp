@@ -1,0 +1,58 @@
+// Aligned ASCII table printer. Every bench binary prints its experiment's
+// rows through this so outputs line up and are diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a fully-formed row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: build a row from heterogeneous cells.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+    RowBuilder& cell(std::string s);
+    RowBuilder& cell(const char* s);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+    RowBuilder& cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+    RowBuilder& cell(double v, int precision = 2);
+    RowBuilder& cell(bool v) { return cell(std::string{v ? "yes" : "no"}); }
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder row() { return RowBuilder{*this}; }
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& os) const;
+  /// Print to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (bench cells).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace mm

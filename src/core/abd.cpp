@@ -1,0 +1,127 @@
+#include "core/abd.hpp"
+
+#include "common/assert.hpp"
+#include "core/tags.hpp"
+#include "net/broadcast.hpp"
+
+namespace mm::core {
+
+using runtime::Env;
+using runtime::Message;
+
+namespace {
+
+// Message.round: [origin pid : 16][reg id : 8][seq : 39][is_reply : 1].
+std::uint64_t op_id(Pid origin, std::uint32_t reg_id, std::uint64_t seq) {
+  MM_ASSERT(seq < (1ULL << 39));
+  return (static_cast<std::uint64_t>(origin.value() & 0xffff) << 48) |
+         (static_cast<std::uint64_t>(reg_id & 0xff) << 40) | (seq << 1);
+}
+
+}  // namespace
+
+void AbdRegister::handle(Env& env, const Message& m) {
+  if (m.kind != kMsgAbdRead && m.kind != kMsgAbdWrite) return;
+  // Ignore traffic for other ABD registers.
+  if (((m.round >> 40) & 0xff) != (config_.reg_id & 0xff)) return;
+  const bool is_reply = (m.round & 1) != 0;
+
+  if (!is_reply) {
+    // Serve the request against the local replica, then echo the op id.
+    Message reply;
+    reply.kind = m.kind;
+    reply.round = m.round | 1;
+    if (m.kind == kMsgAbdWrite) {
+      if (m.value > local_.ts) {
+        local_.ts = m.value;
+        local_.value = m.aux;
+      }
+    } else {
+      reply.value = local_.ts;
+      reply.aux = local_.value;
+    }
+    env.send(m.from, reply);
+    ++stats_.msgs_sent;
+    return;
+  }
+
+  // A reply: only the phase that issued the op consumes it. The op id is
+  // the request round (reply bit clear).
+  if ((m.round & ~1ULL) != active_op_ || replied_.empty()) return;
+  if (replied_[m.from.index()]) return;
+  replied_[m.from.index()] = true;
+  ++replies_;
+  if (m.kind == kMsgAbdRead && m.value > best_.ts) {
+    best_.ts = m.value;
+    best_.value = m.aux;
+  }
+}
+
+void AbdRegister::join_group(std::vector<AbdRegister*> group) {
+  group_ = std::move(group);
+}
+
+void AbdRegister::serve(Env& env) {
+  for (const Message& m : env.drain_inbox()) {
+    if (group_.empty()) {
+      handle(env, m);
+    } else {
+      // Route to the sibling the message belongs to (each handle() filters
+      // on its own reg id, so fan-out is safe with distinct ids).
+      for (AbdRegister* reg : group_) reg->handle(env, m);
+    }
+  }
+}
+
+std::optional<AbdRegister::Tagged> AbdRegister::run_phase(Env& env, bool store,
+                                                          Tagged payload) {
+  const std::size_t n = env.n();
+  const std::size_t majority = n / 2 + 1;
+  ++seq_;
+  active_op_ = op_id(env.self(), config_.reg_id, seq_);
+  replied_.assign(n, false);
+  replies_ = 0;
+  best_ = store ? payload : Tagged{};
+
+  Message req;
+  req.kind = store ? kMsgAbdWrite : kMsgAbdRead;
+  req.round = active_op_;  // is_reply bit clear
+  req.value = payload.ts;
+  req.aux = payload.value;
+  net::send_to_all(env, req);  // includes self: our replica serves too
+  stats_.msgs_sent += n;
+
+  while (replies_ < majority) {
+    serve(env);
+    if (replies_ >= majority) break;
+    if (env.stop_requested()) {
+      active_op_ = 0;
+      return std::nullopt;
+    }
+    env.step();
+  }
+  active_op_ = 0;
+  return best_;
+}
+
+bool AbdRegister::write(Env& env, std::uint64_t value) {
+  MM_ASSERT_MSG(env.self() == config_.writer, "single-writer register");
+  const Tagged stamped{++writer_ts_, value};
+  const auto done = run_phase(env, /*store=*/true, stamped);
+  if (!done.has_value()) return false;
+  ++stats_.ops;
+  return true;
+}
+
+std::optional<std::uint64_t> AbdRegister::read(Env& env) {
+  const auto current = run_phase(env, /*store=*/false, Tagged{});
+  if (!current.has_value()) return std::nullopt;
+  // Write-back: make the read's value visible to a majority before
+  // returning, so no later read can observe an older value (atomicity).
+  const auto confirmed = run_phase(env, /*store=*/true, *current);
+  if (!confirmed.has_value()) return std::nullopt;
+  ++stats_.ops;
+  return current->value;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,87 @@
+// ABD atomic-register emulation over message passing (Attiya–Bar-Noy–Dolev
+// [11]) — the construction behind the paper's §1 claim that the two models
+// are computationally equivalent *only* given a correct majority, and the
+// baseline for the atomic-storage comparison (bench E15).
+//
+// Single-writer multi-reader register:
+//   write(v): stamp (ts+1); broadcast STORE; await majority acks.
+//   read():   broadcast QUERY; await majority of (ts, v) replies; adopt the
+//             max; broadcast STORE of the max (the write-back that makes
+//             reads atomic rather than merely regular); await majority acks.
+// Every process also *serves* the protocol (replies to QUERY/STORE), which
+// client operations do while blocked, so a process waiting on its own
+// operation still helps others complete.
+//
+// The m&m contrast: a shared register in GSM is one operation with no
+// quorum, works with any number of crashes (§3's memory does not fail), but
+// only spans a neighborhood — exactly the trade the paper builds on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/env.hpp"
+
+namespace mm::core {
+
+class AbdRegister {
+ public:
+  struct Config {
+    Pid writer{0};            ///< the single writer
+    std::uint32_t reg_id = 0; ///< distinguishes multiple ABD registers
+  };
+
+  /// Statistics for the cost comparison.
+  struct Stats {
+    std::uint64_t ops = 0;
+    std::uint64_t msgs_sent = 0;
+  };
+
+  explicit AbdRegister(Config config) : config_(config) {}
+
+  /// Writer-only. Blocks until a majority acked. False if stopped first.
+  bool write(runtime::Env& env, std::uint64_t value);
+
+  /// Any process. Blocks until both phases complete; nullopt if stopped.
+  [[nodiscard]] std::optional<std::uint64_t> read(runtime::Env& env);
+
+  /// Serve incoming protocol messages without issuing an operation. Idle
+  /// processes must call this regularly or clients cannot reach quorums.
+  void serve(runtime::Env& env);
+
+  /// A process using several ABD registers must group them: the inbox is a
+  /// single stream, and whichever register drains it has to route messages
+  /// belonging to its siblings. All group members must share one group
+  /// vector (including themselves) and have distinct reg_ids.
+  void join_group(std::vector<AbdRegister*> group);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Tagged {
+    std::uint64_t ts = 0;
+    std::uint64_t value = 0;
+  };
+
+  void handle(runtime::Env& env, const runtime::Message& m);
+  /// Broadcast a phase message and await a majority of matching replies.
+  /// Returns the max (ts, value) seen among replies (query phase) or the
+  /// echoed pair (store phase); nullopt if stop was requested.
+  std::optional<Tagged> run_phase(runtime::Env& env, bool store, Tagged payload);
+
+  Config config_;
+  Stats stats_;
+  std::vector<AbdRegister*> group_;  ///< co-located registers (empty = just us)
+  Tagged local_;              ///< this process' replica
+  std::uint64_t writer_ts_ = 0;  ///< writer's own stamp counter (never reread
+                                 ///< from the replica, which may lag a phase)
+  std::uint64_t seq_ = 0;     ///< per-process operation sequence number
+  // Reply collection state for the in-flight phase.
+  std::uint64_t active_op_ = 0;
+  std::vector<bool> replied_;
+  std::size_t replies_ = 0;
+  Tagged best_;
+};
+
+}  // namespace mm::core

@@ -1,0 +1,56 @@
+// Ben-Or's randomized binary consensus (PODC'83) — the pure message-passing
+// baseline HBO is built on and compared against (§4.1).
+//
+// Tolerates f < n/2 crashes: Validity and Uniform Agreement always, and
+// Termination with probability 1 when at most f processes crash [7]. This
+// implementation is a direct transcription of the round structure described
+// in §4.1, with the same finite-run decide broadcast used by HBO.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/msg_buffer.hpp"
+#include "runtime/env.hpp"
+
+namespace mm::core {
+
+class BenOrConsensus {
+ public:
+  struct Config {
+    std::size_t f = 0;                  ///< crash bound the run is configured for
+    std::uint64_t max_rounds = 10'000;  ///< safety net
+  };
+
+  BenOrConsensus(Config config, std::uint32_t initial_value);
+
+  void run(runtime::Env& env);
+
+  /// Re-inject consensus messages drained by application code before run()
+  /// (see HboConsensus::seed_buffer).
+  void seed_buffer(std::vector<runtime::Message> msgs) { buffer_.ingest(std::move(msgs)); }
+
+  [[nodiscard]] int decision() const noexcept { return decision_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::uint64_t decided_round() const noexcept {
+    return decided_round_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t initial_value() const noexcept { return initial_value_; }
+
+ private:
+  /// Wait for ≥ n−f messages of (kind, round) from distinct senders; the
+  /// result maps sender → value. nullopt when decided via DECIDE or stopped.
+  [[nodiscard]] std::optional<std::vector<std::optional<std::uint32_t>>> await_quorum(
+      runtime::Env& env, std::uint32_t kind, std::uint64_t round);
+  bool check_decide(runtime::Env& env);
+  void decide(runtime::Env& env, std::uint32_t value, std::uint64_t round);
+
+  Config config_;
+  std::uint32_t initial_value_;
+  net::MsgBuffer buffer_;
+  std::atomic<int> decision_{-1};
+  std::atomic<std::uint64_t> decided_round_{0};
+};
+
+}  // namespace mm::core

@@ -1,0 +1,101 @@
+#include "core/bracha.hpp"
+
+#include "common/assert.hpp"
+#include "core/tags.hpp"
+#include "net/broadcast.hpp"
+
+namespace mm::core {
+
+using runtime::Env;
+using runtime::Message;
+
+namespace {
+// Message.round = (tag << 8) | subkind; Message.value = payload;
+// Message.aux = sender pid of the broadcast instance.
+enum Subkind : std::uint64_t { kInitial = 1, kEcho = 2, kReady = 3 };
+}  // namespace
+
+void BrachaBroadcast::send_phase(Env& env, std::uint64_t subkind, std::uint64_t value) {
+  Message m;
+  m.kind = kMsgBracha;
+  m.round = (config_.tag << 8) | subkind;
+  m.value = value;
+  m.aux = config_.sender.value();
+  net::send_to_all(env, m);
+}
+
+void BrachaBroadcast::broadcast(Env& env, std::uint64_t value) {
+  MM_ASSERT_MSG(env.self() == config_.sender, "only the designated sender broadcasts");
+  MM_ASSERT_MSG(env.n() > 3 * config_.f, "Bracha requires n > 3f");
+  send_phase(env, kInitial, value);
+}
+
+std::optional<std::uint64_t> BrachaBroadcast::on_message(Env& env, const Message& m) {
+  if (m.kind != kMsgBracha) return std::nullopt;
+  if ((m.round >> 8) != config_.tag || m.aux != config_.sender.value()) return std::nullopt;
+  const std::size_t n = env.n();
+  const std::size_t echo_quorum = (n + config_.f + 2) / 2;  // ⌈(n+f+1)/2⌉
+  const std::size_t ready_amplify = config_.f + 1;
+  const std::size_t deliver_quorum = 2 * config_.f + 1;
+
+  switch (m.round & 0xff) {
+    case kInitial:
+      // Echo only the designated sender's INITIAL (a forged INITIAL from
+      // someone else is ignored above via the aux check... but any process
+      // can LIE in aux; the real protection is that the INITIAL must come
+      // FROM the sender itself:
+      if (m.from != config_.sender) break;
+      if (!echoed_) {
+        echoed_ = true;
+        send_phase(env, kEcho, m.value);
+      }
+      break;
+    case kEcho: {
+      auto& senders = echoes_[m.value];
+      senders.insert(m.from);
+      if (!readied_ && senders.size() >= echo_quorum) {
+        readied_ = true;
+        send_phase(env, kReady, m.value);
+      }
+      break;
+    }
+    case kReady: {
+      auto& senders = readies_[m.value];
+      senders.insert(m.from);
+      if (!readied_ && senders.size() >= ready_amplify) {
+        readied_ = true;
+        send_phase(env, kReady, m.value);
+      }
+      if (!delivered_.has_value() && senders.size() >= deliver_quorum) {
+        delivered_ = m.value;
+        return delivered_;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> BrachaBroadcast::pump(Env& env, std::vector<Message>* foreign) {
+  std::optional<std::uint64_t> out;
+  for (auto& m : env.drain_inbox()) {
+    const auto got = on_message(env, m);
+    if (got.has_value() && !out.has_value()) out = got;
+    if (m.kind != kMsgBracha && foreign != nullptr) foreign->push_back(std::move(m));
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> BrachaBroadcast::await_delivery(Env& env) {
+  while (!delivered_.has_value()) {
+    (void)pump(env);
+    if (delivered_.has_value()) break;
+    if (env.stop_requested()) return std::nullopt;
+    env.step();
+  }
+  return delivered_;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,76 @@
+// Bracha reliable broadcast — a first step in the paper's §6 Byzantine
+// direction.
+//
+// The conclusion singles out Byzantine failures as future work for the m&m
+// model. Byzantine-tolerant protocols are built on reliable broadcast, so we
+// provide the classic Bracha construction (n > 3f) over the message layer:
+//
+//   sender:            send (INITIAL, v) to all
+//   on INITIAL(v):     send (ECHO, v) to all               [once]
+//   on ⌈(n+f+1)/2⌉ ECHO(v)  or  f+1 READY(v):
+//                      send (READY, v) to all              [once]
+//   on 2f+1 READY(v):  deliver v                           [once]
+//
+// Guarantees with at most f Byzantine processes and reliable links:
+//   * Validity: if the sender is correct, every correct process delivers its
+//     value.
+//   * Agreement: no two correct processes deliver different values for the
+//     same broadcast (even if the sender equivocates).
+//   * Totality: if any correct process delivers, every correct process does.
+//
+// The simulator needs no special Byzantine support: a Byzantine process is
+// simply a process body that sends whatever it likes (see the tests, which
+// include equivocating senders and forged-echo attackers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "runtime/env.hpp"
+
+namespace mm::core {
+
+class BrachaBroadcast {
+ public:
+  struct Config {
+    std::size_t f = 0;       ///< Byzantine bound; requires n > 3f
+    Pid sender{0};           ///< who this broadcast instance belongs to
+    std::uint64_t tag = 0;   ///< distinguishes concurrent broadcasts
+  };
+
+  explicit BrachaBroadcast(Config config) : config_(config) {}
+
+  /// Sender only: initiate the broadcast of `value`.
+  void broadcast(runtime::Env& env, std::uint64_t value);
+
+  /// Feed one received message (from the caller's inbox demultiplexer);
+  /// returns the delivered value the first time delivery triggers.
+  std::optional<std::uint64_t> on_message(runtime::Env& env, const runtime::Message& m);
+
+  /// Drain the inbox and process everything for this broadcast; messages for
+  /// other tags/kinds are appended to *foreign if given. Returns the
+  /// delivered value when delivery triggers.
+  std::optional<std::uint64_t> pump(runtime::Env& env,
+                                    std::vector<runtime::Message>* foreign = nullptr);
+
+  /// Run until delivery (or stop); convenience for receiver processes.
+  std::optional<std::uint64_t> await_delivery(runtime::Env& env);
+
+  [[nodiscard]] std::optional<std::uint64_t> delivered() const noexcept { return delivered_; }
+
+ private:
+  void send_phase(runtime::Env& env, std::uint64_t subkind, std::uint64_t value);
+
+  Config config_;
+  bool echoed_ = false;
+  bool readied_ = false;
+  std::optional<std::uint64_t> delivered_;
+  // Per-value sets of distinct senders seen for each phase.
+  std::map<std::uint64_t, std::set<Pid>> echoes_;
+  std::map<std::uint64_t, std::set<Pid>> readies_;
+};
+
+}  // namespace mm::core

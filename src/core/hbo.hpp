@@ -1,0 +1,105 @@
+// Hybrid Ben-Or (HBO) — the paper's consensus algorithm (Fig. 2).
+//
+// HBO runs Ben-Or's randomized message-passing consensus, but every process
+// also *represents* its GSM neighbors: before sending in a phase, p agrees
+// with each neighbor q's neighborhood — through the shared consensus object
+// RVals[q, k] / PVals[q, k] — on the message q is supposed to send, and
+// attaches the agreed ⟨q, val⟩ tuple to its own message. Receivers count
+// *represented processes* (distinct ids across tuples), not senders. A
+// virtual process q thus stays live as long as any member of {q} ∪ N(q) is
+// correct, which is what buys fault tolerance beyond ⌊(n−1)/2⌋
+// (Theorems 4.1–4.3).
+//
+// Deviation from Fig. 2 (documented in DESIGN.md): the paper's processes
+// never halt. To make runs finite we add the standard decide broadcast: on
+// deciding, a process broadcasts (DECIDE, v) and returns; any process that
+// receives (DECIDE, v) decides v, re-broadcasts, and returns. With reliable
+// links this preserves Agreement/Validity (the value is a decided one) and
+// only strengthens Termination.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "net/msg_buffer.hpp"
+#include "runtime/env.hpp"
+#include "shm/consensus_object.hpp"
+
+namespace mm::core {
+
+class HboConsensus {
+ public:
+  struct Config {
+    const graph::Graph* gsm = nullptr;  ///< shared-memory graph (must outlive the object)
+    shm::ConsensusImpl impl = shm::ConsensusImpl::kCas;
+    std::uint64_t max_rounds = 10'000;  ///< safety net; a run past this returns undecided
+    /// Instance id for running many consensus instances in one system (the
+    /// multivalued/RSM layers): namespaces messages and registers so
+    /// instances cannot collide. Constraints: instance < 4096, and for
+    /// instance != 0, max_rounds < 4096. Each process must execute its
+    /// instances in increasing order (the receive buffer gc relies on it).
+    std::uint64_t instance = 0;
+  };
+
+  HboConsensus(Config config, std::uint32_t initial_value);
+
+  /// Process body: run consensus to completion (decision or stop/budget).
+  void run(runtime::Env& env);
+
+  /// Hand over messages drained from the inbox before run() — applications
+  /// that multiplex the inbox (e.g. a vote-exchange phase ahead of
+  /// consensus) must re-inject any consensus traffic they drained, or early
+  /// senders' messages are silently lost.
+  void seed_buffer(std::vector<runtime::Message> msgs) { buffer_.ingest(std::move(msgs)); }
+
+  /// Move out everything left in the receive buffer after run() — foreign
+  /// kinds and traffic for later instances. The multivalued layer threads
+  /// this into the next instance's seed_buffer.
+  [[nodiscard]] std::vector<runtime::Message> take_buffer() { return buffer_.take_all(); }
+
+  /// −1 while undecided; otherwise the decided binary value. Safe to read
+  /// concurrently with run() (ThreadRuntime) or between steps (SimRuntime).
+  [[nodiscard]] int decision() const noexcept { return decision_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::uint64_t decided_round() const noexcept {
+    return decided_round_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t initial_value() const noexcept { return initial_value_; }
+
+ private:
+  /// Agree (via the shared consensus objects) on each represented process'
+  /// message for this phase/round and build the tuple array.
+  [[nodiscard]] std::vector<runtime::RepTuple> build_tuples(runtime::Env& env,
+                                                            std::uint8_t tag,
+                                                            std::uint64_t round,
+                                                            std::uint32_t domain,
+                                                            std::uint32_t my_value);
+  /// Per-q proposal variant (round start after a coin flip: fresh coin per q).
+  [[nodiscard]] std::vector<runtime::RepTuple> build_tuples_random(runtime::Env& env,
+                                                                   std::uint64_t round);
+
+  /// Wait until messages of (kind, round) represent > n/2 distinct ids; the
+  /// result maps represented id → agreed value. nullopt if a DECIDE arrived
+  /// (handled by caller via decision_) or the run must stop.
+  [[nodiscard]] std::optional<std::vector<std::optional<std::uint32_t>>> await_majority(
+      runtime::Env& env, std::uint32_t kind, std::uint64_t round);
+
+  /// Scan the buffer for a DECIDE; if found, adopt it. Returns true if decided.
+  bool check_decide(runtime::Env& env);
+
+  void decide(runtime::Env& env, std::uint32_t value, std::uint64_t round);
+
+  /// Instance-namespaced message round / register round / decide marker.
+  [[nodiscard]] std::uint64_t msg_round(std::uint64_t k) const noexcept;
+  [[nodiscard]] std::uint64_t reg_round(std::uint64_t k) const;
+  [[nodiscard]] std::uint64_t decide_round() const noexcept;
+
+  Config config_;
+  std::uint32_t initial_value_;
+  net::MsgBuffer buffer_;
+  std::atomic<int> decision_{-1};
+  std::atomic<std::uint64_t> decided_round_{0};
+};
+
+}  // namespace mm::core

@@ -1,0 +1,83 @@
+#include "core/mutex.hpp"
+
+#include "core/tags.hpp"
+
+namespace mm::core {
+
+using runtime::Env;
+using runtime::Message;
+using runtime::RegKey;
+
+namespace {
+// Slot 0 at process 0: the lock word (0 free, holder pid+1 otherwise).
+RegKey lock_key() { return RegKey::make(kTagMutex, Pid{0}, 0, 0); }
+// Waiter announcement flags, one register per process, hosted with the lock.
+RegKey waiter_key(Pid q) { return RegKey::make(kTagMutex, Pid{0}, 1 + q.value(), 0); }
+}  // namespace
+
+void SpinMutex::lock(Env& env, MutexStats& stats) {
+  const RegId lock_reg = env.reg(lock_key());
+  const std::uint64_t me = env.self().value() + 1;
+  for (;;) {
+    if (env.cas(lock_reg, 0, me) == 0) {
+      ++stats.acquisitions;
+      return;
+    }
+    // Spin: re-read the shared lock word until it looks free.
+    while (env.read(lock_reg) != 0) {
+      ++stats.spin_reads;
+      ++stats.wait_steps;
+      env.step();
+      if (env.stop_requested()) return;
+    }
+  }
+}
+
+void SpinMutex::unlock(Env& env) { env.write(env.reg(lock_key()), 0); }
+
+void MnmMutex::lock(Env& env, MutexStats& stats) {
+  const RegId lock_reg = env.reg(lock_key());
+  const std::uint64_t me = env.self().value() + 1;
+  const RegId my_flag = env.reg(waiter_key(env.self()));
+  for (;;) {
+    if (env.cas(lock_reg, 0, me) == 0) {
+      env.write(my_flag, 0);  // no longer waiting
+      ++stats.acquisitions;
+      return;
+    }
+    // Announce and sleep: no shared-memory traffic until a wakeup arrives.
+    env.write(my_flag, 1);
+    // Re-check after announcing: the holder may have exited in between and
+    // missed our flag; one CAS retry closes the race.
+    if (env.cas(lock_reg, 0, me) == 0) {
+      env.write(my_flag, 0);
+      ++stats.acquisitions;
+      return;
+    }
+    bool woken = false;
+    while (!woken) {
+      for (const Message& m : env.drain_inbox())
+        if (m.kind == kMsgWakeup) woken = true;
+      ++stats.wait_steps;
+      env.step();
+      if (env.stop_requested()) return;
+    }
+  }
+}
+
+void MnmMutex::unlock(Env& env, MutexStats& stats) {
+  env.write(env.reg(lock_key()), 0);
+  // Wake every announced waiter (message, not spin — §1's point).
+  for (std::uint32_t q = 0; q < env.n(); ++q) {
+    const Pid qp{q};
+    if (qp == env.self()) continue;
+    if (env.read(env.reg(waiter_key(qp))) != 0) {
+      Message m;
+      m.kind = kMsgWakeup;
+      env.send(qp, m);
+      ++stats.wakeup_messages;
+    }
+  }
+}
+
+}  // namespace mm::core

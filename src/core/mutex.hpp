@@ -1,0 +1,46 @@
+// Mutual exclusion in the m&m model — the paper's opening motivation (§1).
+//
+// Two lock implementations over the same Env:
+//  * SpinMutex — classic shared-memory test-and-set lock. While the critical
+//    section is held, every waiter spins on the lock register; the spin
+//    reads are pure waste (and on real hardware, interconnect traffic).
+//  * MnmMutex — the paper's hybrid: a waiter announces itself in a shared
+//    per-process flag register and then *sleeps* (takes local steps with no
+//    shared-memory traffic) until the holder's exit message wakes it up.
+//    Upon leaving the critical section the holder reads the waiter flags
+//    and sends one wakeup message to each announced waiter.
+//
+// E12 measures shared-register reads burned while waiting per critical-
+// section handoff: ~Θ(contention × hold time) for SpinMutex, ~Θ(1) wakeup
+// messages for MnmMutex.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/env.hpp"
+
+namespace mm::core {
+
+/// Statistics one process accumulates while using a lock.
+struct MutexStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t spin_reads = 0;        ///< shared-register reads while waiting
+  std::uint64_t wakeup_messages = 0;   ///< messages sent on unlock (m&m only)
+  std::uint64_t wait_steps = 0;        ///< steps spent waiting (both)
+};
+
+class SpinMutex {
+ public:
+  /// Blocks until the lock is held. Safety: the lock register is acquired
+  /// with CAS, so at most one holder at a time.
+  void lock(runtime::Env& env, MutexStats& stats);
+  void unlock(runtime::Env& env);
+};
+
+class MnmMutex {
+ public:
+  void lock(runtime::Env& env, MutexStats& stats);
+  void unlock(runtime::Env& env, MutexStats& stats);
+};
+
+}  // namespace mm::core

@@ -1,0 +1,245 @@
+#include "core/omega.hpp"
+
+#include "common/assert.hpp"
+#include "core/tags.hpp"
+
+namespace mm::core {
+
+using runtime::Env;
+using runtime::Message;
+using runtime::RegKey;
+using shm::LeaderState;
+
+namespace {
+
+RegKey state_key(Pid p) { return RegKey::make(kTagState, p); }
+RegKey notifications_key(Pid p) { return RegKey::make(kTagNotifications, p); }
+RegKey notifies_key(Pid p, Pid q) {
+  // NOTIFIES[p][q]: hosted at p, one register per writer q.
+  return RegKey::make(kTagNotifies, p, q.value());
+}
+
+}  // namespace
+
+/// Everything from the "Variables of process p" block of Fig. 3.
+struct OmegaMM::Local {
+  Local(std::size_t n, std::uint64_t initial_timeout)
+      : state(n),
+        hbtimeout(n, initial_timeout),
+        hbtimer(n),
+        contenders(n, false) {}
+
+  std::vector<LeaderState> state;                     ///< local view of STATE[*]
+  std::vector<std::uint64_t> hbtimeout;               ///< per-process timeout value
+  std::vector<std::optional<std::uint64_t>> hbtimer;  ///< running timers (nullopt = off)
+  std::vector<bool> contenders;
+  Pid leader = Pid::none();
+  RegId my_state;
+  /// §6 extension: our own host's memory failed — we can no longer publish
+  /// heartbeats, so we must not claim leadership while anyone else contends.
+  bool self_memory_dead = false;
+
+  // Message-mechanism receive buffers (drained once per iteration).
+  std::vector<bool> pending_notify;
+  std::uint64_t pending_accusations = 0;
+};
+
+OmegaMM::OmegaMM(Config config) : config_(config) {}
+OmegaMM::~OmegaMM() = default;
+
+void OmegaMM::pump_messages(Env& env, Local& local, std::vector<Message>* foreign) {
+  for (auto& m : env.drain_inbox()) {
+    if (m.kind == kMsgNotify) {
+      if (local.pending_notify.empty()) local.pending_notify.assign(env.n(), false);
+      local.pending_notify[m.from.index()] = true;
+    } else if (m.kind == kMsgAccuse) {
+      ++local.pending_accusations;
+    } else if (foreign != nullptr) {
+      foreign->push_back(std::move(m));
+    }
+  }
+}
+
+void OmegaMM::notify(Env& env, Local& local, Pid q) {
+  (void)local;
+  if (config_.mech == NotifyMech::kMessage) {
+    Message m;
+    m.kind = kMsgNotify;
+    env.send(q, m);
+  } else {
+    // Fig. 5: set the per-sender bit, then the summary bit q polls.
+    try {
+      runtime::write_key(env, notifies_key(q, env.self()), 1);
+      runtime::write_key(env, notifications_key(q), 1);
+    } catch (const MemoryFailure&) {
+      // q's host memory failed: q cannot be notified through registers.
+    }
+  }
+}
+
+std::vector<Pid> OmegaMM::get_notifications(Env& env, Local& local) {
+  std::vector<Pid> notifiers;
+  if (config_.mech == NotifyMech::kMessage) {
+    if (!local.pending_notify.empty()) {
+      for (std::size_t q = 0; q < local.pending_notify.size(); ++q) {
+        if (local.pending_notify[q]) notifiers.push_back(Pid{static_cast<std::uint32_t>(q)});
+      }
+      local.pending_notify.assign(local.pending_notify.size(), false);
+    }
+  } else {
+    // Fig. 5: one local read in the common case; the row scan only when
+    // someone raised the summary bit.
+    try {
+      if (runtime::read_key(env, notifications_key(env.self())) != 0) {
+        runtime::write_key(env, notifications_key(env.self()), 0);
+        for (std::uint32_t q = 0; q < env.n(); ++q) {
+          const Pid qp{q};
+          if (qp == env.self()) continue;
+          if (runtime::read_key(env, notifies_key(env.self(), qp)) != 0) {
+            runtime::write_key(env, notifies_key(env.self(), qp), 0);
+            notifiers.push_back(qp);
+          }
+        }
+      }
+    } catch (const MemoryFailure&) {
+      // Our own notification registers are gone; nothing to collect.
+    }
+  }
+  return notifiers;
+}
+
+namespace {
+/// Write p's STATE register. Returns false when p's own host memory has
+/// failed (the process keeps running; it just cannot signal anymore and
+/// must defer leadership to processes that can).
+[[nodiscard]] bool write_state(Env& env, RegId reg, const LeaderState& state) {
+  try {
+    env.write(reg, shm::pack(state));
+    return true;
+  } catch (const MemoryFailure&) {
+    return false;
+  }
+}
+}  // namespace
+
+void OmegaMM::begin(Env& env) {
+  local_ = std::make_unique<Local>(env.n(), config_.initial_timeout);
+  local_->contenders[env.self().index()] = true;
+  local_->my_state = env.reg(state_key(env.self()));
+}
+
+void OmegaMM::iterate(Env& env, std::vector<Message>* foreign) {
+  MM_ASSERT_MSG(local_ != nullptr, "call begin() before iterate()");
+  Local& local = *local_;
+  const Pid p = env.self();
+  const std::size_t n = env.n();
+
+  pump_messages(env, local, foreign);
+
+  // Line 9: pick the contender with the smallest (badness, pid). A process
+  // whose own memory failed ranks itself below every live contender: it
+  // cannot prove liveness through heartbeats anymore.
+  const Pid previous_leader = local.leader;
+  auto rank = [&](Pid q) {
+    const std::uint64_t counter = (q == p && local.self_memory_dead)
+                                      ? std::uint64_t{shm::kMaxBadness} + 1
+                                      : local.state[q.index()].counter;
+    return std::pair{counter, q};
+  };
+  Pid best = p;
+  for (std::uint32_t q = 0; q < n; ++q) {
+    if (!local.contenders[q]) continue;
+    if (rank(Pid{q}) < rank(best)) best = Pid{q};
+  }
+  local.leader = best;
+  leader_.store(local.leader.value(), std::memory_order_release);
+
+  // Lines 10–11: on becoming leader, tell everyone.
+  if (previous_leader != p && local.leader == p) {
+    for (std::uint32_t q = 0; q < n; ++q)
+      if (Pid{q} != p) notify(env, local, Pid{q});
+  }
+  // Lines 12–14: on losing leadership, clear the active bit.
+  if (previous_leader == p && local.leader != p) {
+    local.state[p.index()].active = false;
+    if (!write_state(env, local.my_state, local.state[p.index()]))
+      local.self_memory_dead = true;
+  }
+  // Lines 15–27: leader duties.
+  if (local.leader == p) {
+    local.state[p.index()].hb += 1;
+    local.state[p.index()].active = true;
+    if (!write_state(env, local.my_state, local.state[p.index()]))
+      local.self_memory_dead = true;
+
+    for (Pid q : get_notifications(env, local)) {
+      local.contenders[q.index()] = true;
+      local.hbtimer[q.index()] = local.hbtimeout[q.index()];
+      try {
+        local.state[q.index()] = shm::unpack(runtime::read_key(env, state_key(q)));
+      } catch (const MemoryFailure&) {
+        // Unreadable contender: keep the stale view; the timer will expire
+        // with no observed heartbeat growth and evict q.
+      }
+      notify(env, local, q);
+    }
+    if (local.pending_accusations > 0) {
+      local.state[p.index()].counter +=
+          static_cast<std::uint32_t>(local.pending_accusations);
+      local.pending_accusations = 0;
+      if (!write_state(env, local.my_state, local.state[p.index()]))
+        local.self_memory_dead = true;
+    }
+  } else {
+    // Accusations can only concern a leadership we already relinquished
+    // (the active bit was cleared); drop them.
+    local.pending_accusations = 0;
+  }
+
+  // Lines 28–39: monitor every other contender's heartbeat.
+  for (std::uint32_t qi = 0; qi < n; ++qi) {
+    const Pid q{qi};
+    if (q == p) continue;
+    auto& timer = local.hbtimer[qi];
+    if (!timer.has_value()) continue;
+    if (*timer > 0) {
+      --*timer;  // "decremented at each step of p" (footnote 5)
+      continue;
+    }
+    // Timer expired: check whether q's heartbeat advanced.
+    const std::uint64_t previous_hb = local.state[qi].hb;
+    try {
+      local.state[qi] = shm::unpack(runtime::read_key(env, state_key(q)));
+    } catch (const MemoryFailure&) {
+      // q's heartbeat register is gone: treat as permanently stalled (and
+      // inactive, so no accusation is sent to a host that cannot clear it).
+      local.contenders[qi] = false;
+      timer.reset();
+      continue;
+    }
+    if (local.state[qi].hb > previous_hb) {
+      timer = local.hbtimeout[qi];
+    } else {
+      local.contenders[qi] = false;
+      timer.reset();
+      if (local.state[qi].active) {
+        Message accuse;
+        accuse.kind = kMsgAccuse;
+        env.send(q, accuse);
+        local.hbtimeout[qi] += 1;
+      }
+    }
+  }
+
+  iterations_.fetch_add(1, std::memory_order_release);
+}
+
+void OmegaMM::run(Env& env) {
+  begin(env);
+  while (!env.stop_requested()) {
+    iterate(env);
+    env.step();
+  }
+}
+
+}  // namespace mm::core

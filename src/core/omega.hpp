@@ -1,0 +1,89 @@
+// Eventual leader election (Ω) in the m&m model — Fig. 3 with the two
+// notification mechanisms of Fig. 4 (messages, for reliable links) and
+// Fig. 5 (shared registers, for fair-lossy links).
+//
+// Synchrony required: a single timely process (§3); every link may be fully
+// asynchronous and, with the register mechanism, fair lossy. Each process
+// shares a STATE register holding (heartbeat, badness counter, active bit);
+// the leader increments its heartbeat, others monitor it with step-based
+// timeouts and accuse leaders that stall. Badness counters order contenders;
+// the timely process with the smallest badness eventually wins everywhere
+// (Theorems 5.1/5.2).
+//
+// Steady state (what E4/E5/E11 measure): no messages at all; the leader
+// writes STATE[ℓ] (and, with the register mechanism, reads
+// NOTIFICATIONS[ℓ]); everyone else periodically reads STATE[ℓ]. With the
+// locality placement of §5.3 the leader's accesses are all local.
+//
+// This module assumes GSM is complete (as §5 does); the runtime's access
+// control enforces it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/env.hpp"
+#include "shm/packed_state.hpp"
+
+namespace mm::core {
+
+class OmegaMM {
+ public:
+  enum class NotifyMech : std::uint8_t {
+    kMessage,   ///< Fig. 4 — needs reliable links
+    kRegister,  ///< Fig. 5 — works with fair-lossy links
+  };
+
+  struct Config {
+    NotifyMech mech = NotifyMech::kMessage;
+    /// η+1 of Fig. 3: initial heartbeat timeout, in algorithm iterations.
+    std::uint64_t initial_timeout = 16;
+  };
+
+  explicit OmegaMM(Config config);
+  ~OmegaMM();
+  OmegaMM(const OmegaMM&) = delete;
+  OmegaMM& operator=(const OmegaMM&) = delete;
+
+  /// Process body; loops until Env::stop_requested() (or the runtime kills
+  /// the process). Never returns a value — Ω runs forever by definition.
+  void run(runtime::Env& env);
+
+  /// Embeddable form: algorithms that need Ω as a module (e.g. OmegaPaxos)
+  /// call begin() once and then iterate() from their own loop; iterate()
+  /// performs exactly one Fig. 3 loop body and does not call env.step().
+  /// NOTE: iterate() drains the inbox; the embedding algorithm receives the
+  /// non-Ω messages through the `foreign` out-parameter.
+  void begin(runtime::Env& env);
+  void iterate(runtime::Env& env, std::vector<runtime::Message>* foreign = nullptr);
+
+  /// Current leader output (Ω's leaderp); Pid::none() before the first
+  /// iteration. Readable concurrently.
+  [[nodiscard]] Pid leader() const noexcept {
+    return Pid{leader_.load(std::memory_order_acquire)};
+  }
+  /// Completed main-loop iterations (for stabilization detection in benches).
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return iterations_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Local;  // per-run state, defined in the .cpp
+
+  void notify(runtime::Env& env, Local& local, Pid q);
+  [[nodiscard]] std::vector<Pid> get_notifications(runtime::Env& env, Local& local);
+  /// Drain the network inbox into local.pending_* sets; non-Ω messages go to
+  /// *foreign when provided (dropped otherwise — plain Ω owns its inbox).
+  void pump_messages(runtime::Env& env, Local& local,
+                     std::vector<runtime::Message>* foreign);
+
+  Config config_;
+  std::unique_ptr<Local> local_;
+  std::atomic<std::uint32_t> leader_{Pid::none().value()};
+  std::atomic<std::uint64_t> iterations_{0};
+};
+
+}  // namespace mm::core

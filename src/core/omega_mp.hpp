@@ -1,0 +1,43 @@
+// Pure message-passing Ω baseline (heartbeat style, e.g. [5, 6, 20]).
+//
+// Every process periodically broadcasts ALIVE; receivers time out on
+// silence, suspect, and elect the smallest unsuspected pid. Correct only
+// when links are eventually timely: its detection/recovery time necessarily
+// scales with the message delay bound, which is exactly the weakness E6
+// contrasts against OmegaMM (whose monitoring runs over shared memory and
+// never waits on a link).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/env.hpp"
+
+namespace mm::core {
+
+class OmegaMP {
+ public:
+  struct Config {
+    std::uint64_t hb_period = 4;        ///< broadcast ALIVE every this many iterations
+    std::uint64_t initial_timeout = 32; ///< silence tolerated before suspecting, iterations
+  };
+
+  explicit OmegaMP(Config config) : config_(config) {}
+
+  void run(runtime::Env& env);
+
+  [[nodiscard]] Pid leader() const noexcept {
+    return Pid{leader_.load(std::memory_order_acquire)};
+  }
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return iterations_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Config config_;
+  std::atomic<std::uint32_t> leader_{Pid::none().value()};
+  std::atomic<std::uint64_t> iterations_{0};
+};
+
+}  // namespace mm::core

@@ -1,0 +1,22 @@
+#include "core/sm_consensus.hpp"
+
+#include "common/assert.hpp"
+#include "core/tags.hpp"
+
+namespace mm::core {
+
+SmConsensus::SmConsensus(Config config, std::uint32_t initial_value)
+    : config_(config), initial_value_(initial_value) {
+  MM_ASSERT_MSG(initial_value <= 1, "binary consensus");
+}
+
+void SmConsensus::run(runtime::Env& env) {
+  // One system-wide object hosted at process 0; legal only when every
+  // process is in S_{p0}, i.e. GSM is complete.
+  const shm::ConsensusObject object{runtime::RegKey::make(kTagSmConsensus, Pid{0}, 0),
+                                    kBinaryDomain, config_.impl};
+  const std::uint32_t v = object.propose(env, initial_value_);
+  decision_.store(static_cast<int>(v), std::memory_order_release);
+}
+
+}  // namespace mm::core

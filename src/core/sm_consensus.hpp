@@ -1,0 +1,39 @@
+// Pure shared-memory consensus baseline (§4, first paragraph).
+//
+// With a fully connected GSM any wait-free shared-memory consensus algorithm
+// works in the m&m model unchanged — it simply never sends messages — and
+// tolerates up to n−1 crashes. This wrapper runs a single system-wide
+// consensus object (register-only randomized, or CAS). It requires GSM to be
+// complete: with fewer connections the single object is not legally shared,
+// and the runtime's access control will reject the run — exactly the
+// scalability limitation the paper's §3 describes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/env.hpp"
+#include "shm/consensus_object.hpp"
+
+namespace mm::core {
+
+class SmConsensus {
+ public:
+  struct Config {
+    shm::ConsensusImpl impl = shm::ConsensusImpl::kRw;
+  };
+
+  SmConsensus(Config config, std::uint32_t initial_value);
+
+  void run(runtime::Env& env);
+
+  [[nodiscard]] int decision() const noexcept { return decision_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::uint32_t initial_value() const noexcept { return initial_value_; }
+
+ private:
+  Config config_;
+  std::uint32_t initial_value_;
+  std::atomic<int> decision_{-1};
+};
+
+}  // namespace mm::core

@@ -1,0 +1,39 @@
+// Well-known register tags and message kinds used by the core algorithms.
+// Centralised so that no two algorithms can collide in the register
+// namespace and so tests can decode traffic.
+#pragma once
+
+#include <cstdint>
+
+namespace mm::core {
+
+// Register tags (RegKey.tag). One register namespace per algorithm object.
+inline constexpr std::uint8_t kTagRVals = 1;         ///< HBO RVals[q, k] consensus objects
+inline constexpr std::uint8_t kTagPVals = 2;         ///< HBO PVals[q, k] consensus objects
+inline constexpr std::uint8_t kTagSmConsensus = 3;   ///< pure shared-memory consensus baseline
+inline constexpr std::uint8_t kTagState = 4;         ///< Ω STATE[p] (Fig. 3)
+inline constexpr std::uint8_t kTagNotifications = 5; ///< Ω NOTIFICATIONS[p] (Fig. 5)
+inline constexpr std::uint8_t kTagNotifies = 6;      ///< Ω NOTIFIES[p][q] (Fig. 5)
+inline constexpr std::uint8_t kTagMutex = 7;         ///< m&m mutual exclusion (E12)
+
+// Message kinds (Message.kind).
+inline constexpr std::uint32_t kMsgPhaseR = 1;   ///< HBO phase R
+inline constexpr std::uint32_t kMsgPhaseP = 2;   ///< HBO phase P
+inline constexpr std::uint32_t kMsgDecide = 3;   ///< HBO decision broadcast (termination add-on)
+inline constexpr std::uint32_t kMsgNotify = 4;   ///< Ω notification (Fig. 4)
+inline constexpr std::uint32_t kMsgAccuse = 5;   ///< Ω accusation (Fig. 3)
+inline constexpr std::uint32_t kMsgAlive = 6;    ///< message-passing Ω baseline heartbeat
+inline constexpr std::uint32_t kMsgWakeup = 7;    ///< m&m mutex wakeup (intro example)
+inline constexpr std::uint32_t kMsgCandidate = 8; ///< multivalued-consensus candidate gossip
+inline constexpr std::uint32_t kMsgAbdRead = 9;   ///< ABD read query / reply
+inline constexpr std::uint32_t kMsgAbdWrite = 10; ///< ABD write-back / ack
+inline constexpr std::uint32_t kMsgPaxos = 11;    ///< Ω-Paxos prepare/accept traffic
+inline constexpr std::uint32_t kMsgBracha = 12;   ///< Bracha reliable-broadcast phases
+inline constexpr std::uint32_t kMsgPaxosLog = 13; ///< Multi-Paxos replicated-log traffic
+
+// HBO value encoding: binary consensus values plus the phase-P '?'.
+inline constexpr std::uint32_t kValQuestion = 2;  ///< the '?' of Fig. 2
+inline constexpr std::uint32_t kBinaryDomain = 2;
+inline constexpr std::uint32_t kPhasePDomain = 3;  ///< {0, 1, ?}
+
+}  // namespace mm::core

@@ -1,0 +1,137 @@
+// Seeded end-to-end trials: one function call = one adversarial run of a
+// consensus algorithm (or an Ω stabilization scenario) under the
+// deterministic simulator, with safety checked on the way out. Tests sweep
+// these; benches aggregate them into the experiment tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/sim_config.hpp"
+#include "shm/consensus_object.hpp"
+
+namespace mm::core {
+
+enum class Algo : std::uint8_t { kHbo, kBenOr, kSmConsensus };
+[[nodiscard]] const char* to_string(Algo algo) noexcept;
+
+/// How the crash set is chosen.
+enum class CrashPick : std::uint8_t {
+  kNone,       ///< no crashes regardless of f
+  kRandom,     ///< uniformly random f-subset
+  kWorstCase,  ///< the f-subset minimising |C ∪ δC| (exact witness; n ≤ 26) —
+               ///< the adversary Theorem 4.3 is stated against
+  kTargeted,   ///< exactly the processes in `targeted_crash_mask`
+};
+
+struct ConsensusTrialConfig {
+  graph::Graph gsm;
+  std::uint64_t seed = 1;
+  Algo algo = Algo::kHbo;
+  shm::ConsensusImpl impl = shm::ConsensusImpl::kCas;
+
+  std::size_t f = 0;  ///< number of processes to crash
+  CrashPick crash_pick = CrashPick::kRandom;
+  /// Crash set for kTargeted (bit p = crash process p); `f` is ignored then.
+  std::uint64_t targeted_crash_mask = 0;
+  /// Crash steps are drawn uniformly from [0, crash_window]. 0 = crash at
+  /// step 0, i.e. initially-dead processes — the adversary the tolerance
+  /// thresholds are stated against.
+  Step crash_window = 2'000;
+
+  /// Ben-Or's *configured* crash bound (its quorum is n − this). Defaults to
+  /// ⌊(n−1)/2⌋, the most it can safely be configured for; the number of
+  /// crashes actually injected is `f` above, which may exceed it — that is
+  /// precisely the E2 comparison.
+  std::optional<std::size_t> ben_or_quorum_f;
+
+  /// Initial values: if set, per-process; otherwise seeded-random bits.
+  std::optional<std::vector<std::uint32_t>> inputs;
+
+  Step budget = 400'000;  ///< total scheduler steps before giving up
+  std::uint64_t max_rounds = 1'000;
+
+  Step min_delay = 1;
+  Step max_delay = 8;
+  std::optional<runtime::Partition> partition;
+};
+
+struct ConsensusTrialResult {
+  bool agreement = true;        ///< no two decided processes differ (always checked)
+  bool validity = true;         ///< every decision is some process' input
+  bool all_correct_decided = false;  ///< termination within budget
+  std::optional<std::uint32_t> decision;
+  std::uint64_t max_decided_round = 0;  ///< largest round any process decided in
+  Step steps_used = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t reg_ops = 0;    ///< reads + writes + CAS
+  std::vector<bool> crashed;    ///< which processes the adversary crashed
+};
+
+[[nodiscard]] ConsensusTrialResult run_consensus_trial(const ConsensusTrialConfig& cfg);
+
+/// Convenience: fraction of `trials` seeds (seed, seed+1, ...) in which all
+/// correct processes decided, with safety asserted on every run.
+struct TerminationSweep {
+  double termination_rate = 0.0;
+  double mean_decided_round = 0.0;  ///< over terminating runs
+  double mean_steps = 0.0;          ///< over terminating runs
+  std::uint64_t safety_violations = 0;
+};
+[[nodiscard]] TerminationSweep sweep_termination(ConsensusTrialConfig cfg,
+                                                 std::uint64_t trials);
+
+// ---------------------------------------------------------------------------
+// Ω trials
+// ---------------------------------------------------------------------------
+
+enum class OmegaAlgo : std::uint8_t { kMnmReliable, kMnmFairLossy, kMessagePassing };
+[[nodiscard]] const char* to_string(OmegaAlgo algo) noexcept;
+
+struct OmegaTrialConfig {
+  std::size_t n = 8;
+  std::uint64_t seed = 1;
+  OmegaAlgo algo = OmegaAlgo::kMnmReliable;
+  double drop_prob = 0.3;  ///< used by kMnmFairLossy
+
+  Step min_delay = 1;
+  Step max_delay = 8;
+
+  /// The process guaranteed timely by the scheduler (§3). Others run at
+  /// `slow_weight` relative scheduling weight.
+  Pid timely{0};
+  Step timely_bound = 8;
+  double slow_weight = 1.0;
+
+  /// Crash the initial stable leader at this step (0 = never) to measure
+  /// failover.
+  Step crash_leader_at = 0;
+
+  Step budget = 600'000;
+  /// Stability horizon: consider the system stabilized once every correct
+  /// process has reported the same correct leader for this many consecutive
+  /// checks (checks run every check_every steps).
+  Step check_every = 500;
+  int stable_checks = 10;
+};
+
+struct OmegaTrialResult {
+  bool stabilized = false;
+  Pid final_leader = Pid::none();
+  Step stabilization_step = 0;   ///< first step of the final stable streak
+  Step failover_step = 0;        ///< same, but measured after the crash (if any)
+  // Steady-state per-window operation rates, measured after stabilization
+  // (these are the Theorem 5.1/5.2 observables).
+  double steady_msgs_per_1k = 0.0;
+  double leader_writes_per_1k = 0.0;
+  double leader_reads_per_1k = 0.0;
+  double leader_remote_per_1k = 0.0;      ///< leader's remote reads+writes (§5.3)
+  double others_writes_per_1k = 0.0;
+  double others_reads_per_1k = 0.0;
+};
+
+[[nodiscard]] OmegaTrialResult run_omega_trial(const OmegaTrialConfig& cfg);
+
+}  // namespace mm::core

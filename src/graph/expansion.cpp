@@ -1,0 +1,132 @@
+#include "graph/expansion.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+namespace mm::graph {
+
+ExpansionResult vertex_expansion_exact(const Graph& g) {
+  const std::size_t n = g.size();
+  MM_ASSERT_MSG(n >= 1 && n <= kExactExpansionMaxN, "exact expansion needs small n");
+  ExpansionResult best;
+  best.h = static_cast<double>(n);  // upper bound; any real set beats it
+  const std::uint64_t all = full_mask(n);
+  for (std::uint64_t s = 1; s <= all; ++s) {
+    const auto size = static_cast<std::size_t>(std::popcount(s));
+    if (2 * size > n) continue;
+    const double ratio =
+        static_cast<double>(g.boundary_size(s)) / static_cast<double>(size);
+    if (ratio < best.h) {
+      best.h = ratio;
+      best.witness = s;
+    }
+  }
+  return best;
+}
+
+RepresentationResult min_represented_exact(const Graph& g, std::size_t correct) {
+  const std::size_t n = g.size();
+  MM_ASSERT(n >= 1 && n <= kExactExpansionMaxN);
+  MM_ASSERT(correct >= 1 && correct <= n);
+  RepresentationResult best;
+  best.min_represented = n + 1;
+  const std::uint64_t all = full_mask(n);
+  for (std::uint64_t c = 1; c <= all; ++c) {
+    if (static_cast<std::size_t>(std::popcount(c)) != correct) continue;
+    const auto rep =
+        static_cast<std::size_t>(std::popcount(c | g.boundary_mask(c)));
+    if (rep < best.min_represented) {
+      best.min_represented = rep;
+      best.witness = c;
+    }
+  }
+  MM_ASSERT(best.min_represented <= n);
+  return best;
+}
+
+std::size_t hbo_f_bound(std::size_t n, double h) {
+  // Largest f with f < (1 − 1/(2(1+h))) · n, i.e. (n−f)(1+h) > n/2.
+  const double limit = (1.0 - 1.0 / (2.0 * (1.0 + h))) * static_cast<double>(n);
+  auto f = static_cast<std::size_t>(limit);
+  // The inequality is strict: back off when limit is attained exactly.
+  while (f > 0 && !(static_cast<double>(f) < limit)) --f;
+  if (!(static_cast<double>(f) < limit)) return 0;
+  return f;
+}
+
+std::size_t hbo_f_exact(const Graph& g) {
+  const std::size_t n = g.size();
+  // f is feasible iff min over |C| = n−f of |C ∪ δC| > n/2. The minimum is
+  // non-increasing in f, so scan upward until the majority is lost.
+  std::size_t f = 0;
+  while (f + 1 < n) {
+    const auto rep = min_represented_exact(g, n - (f + 1)).min_represented;
+    if (2 * rep <= n) break;
+    ++f;
+  }
+  return f;
+}
+
+double lazy_walk_spectral_gap(const Graph& g, std::size_t iterations) {
+  const std::size_t n = g.size();
+  if (n < 2 || !g.connected()) return 0.0;
+
+  // Stationary left/right eigenvector of the lazy walk matrix in the D-inner
+  // product is the all-ones vector; deflate by orthogonalizing against it
+  // with degree weights.
+  std::vector<double> deg(n);
+  double total_deg = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<double>(g.degree(Pid{static_cast<std::uint32_t>(v)}));
+    if (deg[v] == 0.0) return 0.0;
+    total_deg += deg[v];
+  }
+
+  std::vector<double> x(n), y(n);
+  // Deterministic non-trivial start vector.
+  for (std::size_t v = 0; v < n; ++v)
+    x[v] = (v % 2 == 0 ? 1.0 : -1.0) + 1e-3 * static_cast<double>(v);
+
+  auto deflate = [&](std::vector<double>& vec) {
+    double dot = 0.0;
+    for (std::size_t v = 0; v < n; ++v) dot += deg[v] * vec[v];
+    const double shift = dot / total_deg;
+    for (auto& e : vec) e -= shift;
+  };
+  auto d_norm = [&](const std::vector<double>& vec) {
+    double s = 0.0;
+    for (std::size_t v = 0; v < n; ++v) s += deg[v] * vec[v] * vec[v];
+    return std::sqrt(s);
+  };
+
+  deflate(x);
+  double norm = d_norm(x);
+  if (norm == 0.0) return 0.0;
+  for (auto& e : x) e /= norm;
+
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // y = (I + D⁻¹A)/2 · x
+    for (std::size_t v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (Pid u : g.neighbors(Pid{static_cast<std::uint32_t>(v)})) acc += x[u.index()];
+      y[v] = 0.5 * (x[v] + acc / deg[v]);
+    }
+    deflate(y);
+    norm = d_norm(y);
+    if (norm < 1e-300) return 1.0;  // x was (numerically) in the top eigenspace only
+    lambda = norm;  // Rayleigh growth factor since ‖x‖_D = 1
+    for (std::size_t v = 0; v < n; ++v) x[v] = y[v] / norm;
+  }
+  // lambda estimates λ₂ of the lazy walk, which lies in [0, 1].
+  const double lazy_l2 = std::clamp(lambda, 0.0, 1.0);
+  return 1.0 - lazy_l2;
+}
+
+double vertex_expansion_spectral_lower_bound(const Graph& g) {
+  return lazy_walk_spectral_gap(g) / 2.0;
+}
+
+}  // namespace mm::graph

@@ -1,0 +1,56 @@
+// Vertex expansion (Definition 1 of the paper, after Hoory–Linial–Wigderson)
+// and the Theorem 4.3 fault-tolerance predictions derived from it.
+//
+//   h(G) = min over nonempty S, |S| ≤ n/2 of |δS| / |S|
+//
+// Exact computation enumerates all subsets (n ≤ ~24). For larger graphs we
+// bound h(G) spectrally: vertex expansion ≥ conductance ≥ gap/2 (discrete
+// Cheeger), with the gap taken on the lazy random-walk matrix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+
+namespace mm::graph {
+
+struct ExpansionResult {
+  double h = 0.0;                ///< vertex expansion ratio h(G)
+  std::uint64_t witness = 0;     ///< a minimizing set S (mask form)
+};
+
+/// Exact h(G) by subset enumeration. Requires 1 ≤ n ≤ kExactExpansionMaxN.
+/// Cost 2^n · O(n); ~1 s at n = 24.
+inline constexpr std::size_t kExactExpansionMaxN = 26;
+[[nodiscard]] ExpansionResult vertex_expansion_exact(const Graph& g);
+
+/// min over |C| = c of |C ∪ δC| — the worst-case number of processes HBO
+/// represents when exactly c processes are correct. Exact; same cost bound
+/// as vertex_expansion_exact. Returns the minimizing C as witness.
+struct RepresentationResult {
+  std::size_t min_represented = 0;
+  std::uint64_t witness = 0;
+};
+[[nodiscard]] RepresentationResult min_represented_exact(const Graph& g, std::size_t correct);
+
+/// Theorem 4.3 bound: HBO terminates w.p. 1 if f < (1 − 1/(2(1+h))) · n.
+/// Returns the largest integer f satisfying the strict inequality.
+[[nodiscard]] std::size_t hbo_f_bound(std::size_t n, double h);
+
+/// Sharpest combinatorial tolerance: the largest f such that EVERY correct
+/// set of size n−f represents a strict majority (|C ∪ δC| > n/2). This is
+/// what HBO termination actually requires; Theorem 4.3's expansion bound is
+/// a lower bound on it. Exact; subset enumeration.
+[[nodiscard]] std::size_t hbo_f_exact(const Graph& g);
+
+/// Spectral gap of the lazy walk matrix (I + D⁻¹A)/2, estimated by power
+/// iteration with deflation of the stationary eigenvector. Returns the gap
+/// λ = 1 − λ₂ ∈ [0, 1]; 0 for disconnected or degenerate graphs.
+[[nodiscard]] double lazy_walk_spectral_gap(const Graph& g, std::size_t iterations = 3000);
+
+/// Cheeger-based lower bound on vertex expansion: h(G) ≥ gap / 2 (for the
+/// lazy-walk gap computed above; see the header comment for the chain).
+[[nodiscard]] double vertex_expansion_spectral_lower_bound(const Graph& g);
+
+}  // namespace mm::graph

@@ -1,0 +1,116 @@
+#include "graph/smcut.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mm::graph {
+
+std::size_t SmCut::s_size() const noexcept {
+  return static_cast<std::size_t>(std::popcount(s));
+}
+std::size_t SmCut::t_size() const noexcept {
+  return static_cast<std::size_t>(std::popcount(t));
+}
+
+namespace {
+
+/// True if no edge of g joins a vertex of `a` to a vertex of `b`.
+bool no_edges_between(const Graph& g, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t rest = a;
+  while (rest != 0) {
+    const auto v = static_cast<std::size_t>(std::countr_zero(rest));
+    rest &= rest - 1;
+    if ((g.neighbor_mask(Pid{static_cast<std::uint32_t>(v)}) & b) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_sm_cut(const Graph& g, const SmCut& cut) {
+  const std::size_t n = g.size();
+  if (n == 0 || n > 64) return false;
+  const std::uint64_t all = full_mask(n);
+  const std::uint64_t b = cut.b1 | cut.b2;
+  // Disjointness and coverage of V.
+  if ((cut.b1 & cut.b2) != 0) return false;
+  if ((b & cut.s) != 0 || (b & cut.t) != 0 || (cut.s & cut.t) != 0) return false;
+  if ((b | cut.s | cut.t) != all) return false;
+  // (B1 ∪ S, B2 ∪ T) must be a cut of G: both sides nonempty.
+  if ((cut.b1 | cut.s) == 0 || (cut.b2 | cut.t) == 0) return false;
+  // Edge exclusions: S–T, B1–T, B2–S.
+  return no_edges_between(g, cut.s, cut.t) && no_edges_between(g, cut.b1, cut.t) &&
+         no_edges_between(g, cut.b2, cut.s);
+}
+
+std::uint64_t ball2_mask(const Graph& g, std::uint64_t s) {
+  const std::uint64_t b1 = s | g.boundary_mask(s);
+  return b1 | g.boundary_mask(b1);
+}
+
+std::optional<SmCut> make_sm_cut(const Graph& g, std::uint64_t s_mask,
+                                 std::uint64_t t_mask) {
+  const std::size_t n = g.size();
+  MM_ASSERT(n >= 1 && n <= 64);
+  if (s_mask == 0 || t_mask == 0 || (s_mask & t_mask) != 0) return std::nullopt;
+  // Sides must be at pairwise distance ≥ 3: T disjoint from ball2(S).
+  if ((ball2_mask(g, s_mask) & t_mask) != 0) return std::nullopt;
+
+  const std::uint64_t all = full_mask(n);
+  const std::uint64_t border = all & ~(s_mask | t_mask);
+  // Border vertices adjacent to T must avoid B1; adjacent to S must avoid B2.
+  // Distance ≥ 3 guarantees no border vertex is adjacent to both.
+  SmCut cut;
+  cut.s = s_mask;
+  cut.t = t_mask;
+  std::uint64_t rest = border;
+  while (rest != 0) {
+    const auto v = static_cast<std::size_t>(std::countr_zero(rest));
+    rest &= rest - 1;
+    const std::uint64_t bit = 1ULL << v;
+    const std::uint64_t nb = g.neighbor_mask(Pid{static_cast<std::uint32_t>(v)});
+    const bool touches_s = (nb & s_mask) != 0;
+    const bool touches_t = (nb & t_mask) != 0;
+    MM_ASSERT_MSG(!(touches_s && touches_t), "distance-3 precondition violated");
+    if (touches_t) {
+      cut.b2 |= bit;
+    } else {
+      cut.b1 |= bit;  // touches S, or touches neither (free choice)
+    }
+  }
+  MM_ASSERT(is_sm_cut(g, cut));
+  return cut;
+}
+
+MaxSmCutResult max_sm_cut(const Graph& g) {
+  const std::size_t n = g.size();
+  MM_ASSERT_MSG(n >= 1 && n <= 26, "exact SM-cut search needs small n");
+  MaxSmCutResult best;
+  const std::uint64_t all = full_mask(n);
+  // For a fixed T, the largest feasible S is everything at distance ≥ 3 from
+  // T. Enumerating all T and taking the best min(|T|, |S(T)|) is exact: any
+  // SM-cut's T yields at least its own min side this way.
+  for (std::uint64_t t = 1; t <= all; ++t) {
+    const auto t_size = static_cast<std::size_t>(std::popcount(t));
+    if (t_size <= best.side) continue;  // min(|T|, ·) can't beat best
+    const std::uint64_t s = all & ~ball2_mask(g, t);
+    const auto s_size = static_cast<std::size_t>(std::popcount(s));
+    const std::size_t side = std::min(t_size, s_size);
+    if (side > best.side) {
+      best.side = side;
+      best.witness = make_sm_cut(g, s, t);
+      MM_ASSERT(best.witness.has_value());
+    }
+  }
+  return best;
+}
+
+std::size_t impossibility_f_threshold(const Graph& g) {
+  const std::size_t n = g.size();
+  const auto best = max_sm_cut(g);
+  if (best.side == 0) return n;
+  // Need |S|, |T| ≥ n − f, i.e. f ≥ n − min side.
+  return n - best.side;
+}
+
+}  // namespace mm::graph

@@ -1,0 +1,59 @@
+// SM-cuts (§4.3): the structure that makes consensus impossible in the
+// m&m model despite shared memory.
+//
+// C = (B, S, T) is an SM-cut of G if B, S, T partition V and B splits into
+// B1, B2 such that (B1 ∪ S, B2 ∪ T) is a cut of G with no edges between
+// S–T, B1–T, or B2–S. Theorem 4.4: with f crash failures, consensus is
+// unsolvable when G has an SM-cut with |S| ≥ n−f and |T| ≥ n−f.
+//
+// Structural lemma used by the finder (proved in tests against the raw
+// definition): sides S and T admit an SM-cut iff every s ∈ S and t ∈ T are
+// at hop distance ≥ 3 in G. (Distance ≥ 2 kills S–T edges; distance ≥ 3
+// ensures no border vertex is adjacent to both sides, so each border vertex
+// can be placed in B1 or B2 consistently.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+
+namespace mm::graph {
+
+/// An SM-cut, all four parts in mask form (n ≤ 64).
+struct SmCut {
+  std::uint64_t b1 = 0;
+  std::uint64_t b2 = 0;
+  std::uint64_t s = 0;
+  std::uint64_t t = 0;
+
+  [[nodiscard]] std::size_t s_size() const noexcept;
+  [[nodiscard]] std::size_t t_size() const noexcept;
+};
+
+/// Checks the raw Definition (§4.3) — partition, cut, and the three edge
+/// exclusions. Used to validate the structural lemma and the finder.
+[[nodiscard]] bool is_sm_cut(const Graph& g, const SmCut& cut);
+
+/// Vertices within hop distance ≤ 2 of the set `s` (including s itself).
+[[nodiscard]] std::uint64_t ball2_mask(const Graph& g, std::uint64_t s);
+
+/// Builds an SM-cut with the given sides if one exists (i.e. if the sides
+/// are at pairwise distance ≥ 3); nullopt otherwise.
+[[nodiscard]] std::optional<SmCut> make_sm_cut(const Graph& g, std::uint64_t s_mask,
+                                               std::uint64_t t_mask);
+
+/// max over SM-cuts of min(|S|, |T|); 0 if the graph admits no SM-cut.
+/// Exact, by enumerating candidate T sets (2^n); requires n ≤ 26.
+struct MaxSmCutResult {
+  std::size_t side = 0;          ///< the maximised min(|S|, |T|)
+  std::optional<SmCut> witness;  ///< a maximising cut, if any exists
+};
+[[nodiscard]] MaxSmCutResult max_sm_cut(const Graph& g);
+
+/// Smallest f for which Theorem 4.4 forbids consensus on G, i.e. the
+/// smallest f with an SM-cut of sides ≥ n−f; returns n if no SM-cut exists
+/// (impossibility never triggers below total failure).
+[[nodiscard]] std::size_t impossibility_f_threshold(const Graph& g);
+
+}  // namespace mm::graph

@@ -1,0 +1,16 @@
+#include "net/broadcast.hpp"
+
+namespace mm::net {
+
+void send_to_all(runtime::Env& env, const runtime::Message& m) {
+  for (std::uint32_t i = 0; i < env.n(); ++i) env.send(Pid{i}, m);
+}
+
+void send_to_others(runtime::Env& env, const runtime::Message& m) {
+  for (std::uint32_t i = 0; i < env.n(); ++i) {
+    const Pid to{i};
+    if (to != env.self()) env.send(to, m);
+  }
+}
+
+}  // namespace mm::net

@@ -1,0 +1,16 @@
+// Broadcast helpers over the fully connected network (§3).
+#pragma once
+
+#include "runtime/env.hpp"
+
+namespace mm::net {
+
+/// Send a copy of m to every process, including the sender (HBO counts its
+/// own message toward the majority like any other).
+void send_to_all(runtime::Env& env, const runtime::Message& m);
+
+/// Send a copy of m to every process except the sender (leader-election
+/// notifications, Fig. 3 line 11).
+void send_to_others(runtime::Env& env, const runtime::Message& m);
+
+}  // namespace mm::net

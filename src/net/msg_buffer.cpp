@@ -1,0 +1,25 @@
+#include "net/msg_buffer.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace mm::net {
+
+void MsgBuffer::ingest(std::vector<Message> msgs) {
+  msgs_.insert(msgs_.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+}
+
+std::vector<const Message*> MsgBuffer::matching(std::uint32_t kind,
+                                                std::uint64_t round) const {
+  std::vector<const Message*> out;
+  for (const Message& m : msgs_)
+    if (m.kind == kind && m.round == round) out.push_back(&m);
+  return out;
+}
+
+void MsgBuffer::gc_below(std::uint64_t round) {
+  std::erase_if(msgs_, [round](const Message& m) { return m.round < round; });
+}
+
+}  // namespace mm::net

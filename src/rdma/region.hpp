@@ -1,0 +1,43 @@
+// Simulated RDMA memory regions.
+//
+// The paper's model is motivated by RDMA: every register physically lives on
+// some host, the host's own process accesses it locally, and remote
+// processes reach it through one-sided NIC verbs without interrupting the
+// owner (§2, §5.3). This module gives that hardware flavour a concrete API:
+// a MemoryRegion is a contiguous array of 64-bit words pinned on one host,
+// addressed by offset, and backed by the runtime's register table — so the
+// GSM access-control and crash-survival semantics apply unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "runtime/env.hpp"
+
+namespace mm::rdma {
+
+/// A registered (pinned) region of `words` 64-bit words on `owner`'s host.
+/// Copyable handle; all state lives in the runtime's register table.
+class MemoryRegion {
+ public:
+  MemoryRegion(Pid owner, std::uint8_t tag, std::uint32_t words)
+      : owner_(owner), tag_(tag), words_(words) {
+    MM_ASSERT_MSG(words >= 1, "empty region");
+  }
+
+  [[nodiscard]] Pid owner() const noexcept { return owner_; }
+  [[nodiscard]] std::uint32_t size_words() const noexcept { return words_; }
+
+  /// Register name backing word `offset`.
+  [[nodiscard]] runtime::RegKey key(std::uint32_t offset) const {
+    MM_ASSERT_MSG(offset < words_, "region offset out of bounds");
+    return runtime::RegKey::make(tag_, owner_, offset);
+  }
+
+ private:
+  Pid owner_;
+  std::uint8_t tag_;
+  std::uint32_t words_;
+};
+
+}  // namespace mm::rdma

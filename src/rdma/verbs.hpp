@@ -1,0 +1,50 @@
+// One-sided RDMA verbs over Env.
+//
+// read / write / cas map to single register operations; fetch_add is the
+// usual CAS retry loop (RDMA NICs expose it natively; we model it on CAS so
+// its cost is visible). The runtime's metrics record each operation with its
+// local/remote split, which the CostModel (cost_model.hpp) converts into
+// modeled wall time.
+#pragma once
+
+#include <cstdint>
+
+#include "rdma/region.hpp"
+#include "runtime/env.hpp"
+
+namespace mm::rdma {
+
+class Verbs {
+ public:
+  /// One-sided read of region[offset].
+  [[nodiscard]] static std::uint64_t read(runtime::Env& env, const MemoryRegion& region,
+                                          std::uint32_t offset) {
+    return env.read(env.reg(region.key(offset)));
+  }
+
+  /// One-sided write of region[offset].
+  static void write(runtime::Env& env, const MemoryRegion& region, std::uint32_t offset,
+                    std::uint64_t value) {
+    env.write(env.reg(region.key(offset)), value);
+  }
+
+  /// Atomic compare-and-swap; returns the previous value (RDMA semantics).
+  [[nodiscard]] static std::uint64_t cas(runtime::Env& env, const MemoryRegion& region,
+                                         std::uint32_t offset, std::uint64_t expected,
+                                         std::uint64_t desired) {
+    return env.cas(env.reg(region.key(offset)), expected, desired);
+  }
+
+  /// Atomic fetch-and-add via CAS retry; returns the pre-add value.
+  [[nodiscard]] static std::uint64_t fetch_add(runtime::Env& env, const MemoryRegion& region,
+                                               std::uint32_t offset, std::uint64_t delta) {
+    const RegId r = env.reg(region.key(offset));
+    for (;;) {
+      const std::uint64_t old = env.read(r);
+      if (env.cas(r, old, old + delta) == old) return old;
+      env.step();
+    }
+  }
+};
+
+}  // namespace mm::rdma

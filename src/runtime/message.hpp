@@ -1,0 +1,38 @@
+// Message envelope for the m&m network layer.
+//
+// The paper's algorithms need only small structured payloads:
+//   * HBO (Fig. 2) sends (phase, round, [⟨q, val⟩ : q ∈ neighborhood]).
+//   * Leader election (Fig. 3/4) sends notify and accusation signals.
+// We keep one concrete envelope rather than a type-erased payload: it keeps
+// the simulator allocation-light and the wire format inspectable by tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mm::runtime {
+
+/// A ⟨q, val⟩ entry of an HBO message: the agreed value that process q is
+/// supposed to send this phase/round. The message "represents" q.
+struct RepTuple {
+  Pid pid;
+  std::uint32_t value = 0;
+
+  friend bool operator==(const RepTuple&, const RepTuple&) = default;
+};
+
+struct Message {
+  Pid from;                      ///< filled in by the runtime on send
+  std::uint32_t kind = 0;        ///< algorithm-defined tag (phase, notify, ...)
+  std::uint64_t round = 0;       ///< algorithm-defined sequence number
+  std::uint64_t value = 0;       ///< algorithm-defined scalar payload
+  std::uint64_t aux = 0;         ///< second scalar payload (ABD data word, ...)
+  std::vector<RepTuple> tuples;  ///< HBO representation array (empty otherwise)
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace mm::runtime

@@ -1,0 +1,81 @@
+// Stable naming of shared registers.
+//
+// HBO needs a consensus object per (process, phase, round) with unbounded
+// rounds, so registers cannot all be pre-allocated. Instead every register
+// has a structured 64-bit key; the runtime materialises storage on first
+// access. Every process computes the same key independently, which is what
+// lets all of q's neighbors agree on "the RVals[q, k] object" (Fig. 2).
+//
+// Access control is uniform (§3): the register named by a key is hosted at
+// the key's owner process p and is accessible exactly by Sp = {p} ∪
+// neighbors(p) in GSM. Keys with the kGlobalBit set opt out and are readable
+// and writable by everyone — used only by harness code (never by the
+// algorithms) to publish results out of a run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/ids.hpp"
+
+namespace mm::runtime {
+
+/// Structured register name: [global:1][tag:7][owner:16][round:32][slot:8].
+class RegKey {
+ public:
+  constexpr RegKey() noexcept = default;
+
+  [[nodiscard]] static constexpr RegKey make(std::uint8_t tag, Pid owner,
+                                             std::uint64_t round = 0,
+                                             std::uint8_t slot = 0) noexcept {
+    return RegKey{pack(false, tag, owner, round, slot)};
+  }
+
+  /// Harness-only keys, accessible by every process regardless of GSM.
+  [[nodiscard]] static constexpr RegKey make_global(std::uint8_t tag, Pid owner,
+                                                    std::uint64_t round = 0,
+                                                    std::uint8_t slot = 0) noexcept {
+    return RegKey{pack(true, tag, owner, round, slot)};
+  }
+
+  [[nodiscard]] constexpr bool is_global() const noexcept { return (bits_ >> 63) & 1; }
+  [[nodiscard]] constexpr std::uint8_t tag() const noexcept {
+    return static_cast<std::uint8_t>((bits_ >> 56) & 0x7f);
+  }
+  [[nodiscard]] constexpr Pid owner() const noexcept {
+    return Pid{static_cast<std::uint32_t>((bits_ >> 40) & 0xffff)};
+  }
+  [[nodiscard]] constexpr std::uint64_t round() const noexcept {
+    return (bits_ >> 8) & 0xffffffffULL;
+  }
+  [[nodiscard]] constexpr std::uint8_t slot() const noexcept {
+    return static_cast<std::uint8_t>(bits_ & 0xff);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+  constexpr auto operator<=>(const RegKey&) const noexcept = default;
+
+ private:
+  constexpr explicit RegKey(std::uint64_t bits) noexcept : bits_(bits) {}
+
+  [[nodiscard]] static constexpr std::uint64_t pack(bool global, std::uint8_t tag, Pid owner,
+                                                    std::uint64_t round,
+                                                    std::uint8_t slot) noexcept {
+    // Ranges are enforced here so distinct logical names can never collide.
+    return (static_cast<std::uint64_t>(global) << 63) |
+           (static_cast<std::uint64_t>(tag & 0x7f) << 56) |
+           (static_cast<std::uint64_t>(owner.value() & 0xffff) << 40) |
+           ((round & 0xffffffffULL) << 8) | slot;
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace mm::runtime
+
+template <>
+struct std::hash<mm::runtime::RegKey> {
+  std::size_t operator()(mm::runtime::RegKey k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.bits());
+  }
+};

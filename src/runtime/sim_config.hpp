@@ -1,0 +1,79 @@
+// Configuration of a deterministic simulation run: the shared-memory graph,
+// link model, adversary (scheduling, delays, partitions), and crash plan.
+// A run is a pure function of (SimConfig, process bodies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace mm::runtime {
+
+/// Link semantics (§3). Reliable = Integrity + No-loss. FairLossy =
+/// Integrity + Fair-loss, realised as i.i.d. Bernoulli drops: a message
+/// re-sent forever is delivered infinitely often with probability 1.
+enum class LinkType : std::uint8_t { kReliable, kFairLossy };
+
+/// A network partition window: while `from ≤ step < until`, messages whose
+/// endpoints straddle `side_a` (mask form) are held back and delivered only
+/// after `until` (plus the normal delay). Reliability is preserved — this is
+/// pure asynchrony, which is exactly the adversary of Theorem 4.4: shared
+/// memory cannot be delayed, but messages can.
+struct Partition {
+  std::uint64_t side_a = 0;
+  Step from = 0;
+  Step until = 0;
+
+  [[nodiscard]] bool crosses(Pid a, Pid b) const noexcept {
+    const bool ia = (side_a >> a.index()) & 1ULL;
+    const bool ib = (side_a >> b.index()) & 1ULL;
+    return ia != ib;
+  }
+};
+
+struct SimConfig {
+  /// Shared-memory graph GSM; also fixes n = gsm.size(). Registers named
+  /// with owner p are accessible by Sp = {p} ∪ neighbors(p).
+  graph::Graph gsm;
+
+  std::uint64_t seed = 1;
+
+  LinkType link_type = LinkType::kReliable;
+  double drop_prob = 0.0;  ///< per-message drop probability (fair-lossy only)
+
+  /// Message delay in steps, uniform in [min_delay, max_delay].
+  Step min_delay = 1;
+  Step max_delay = 8;
+
+  std::optional<Partition> partition;
+
+  /// crash_at[p]: global step at which p crashes (never scheduled again).
+  /// Empty vector = no crashes.
+  std::vector<std::optional<Step>> crash_at;
+
+  /// memory_fail_at[p]: global step at which the shared memory hosted at p
+  /// fails — every later access to a register owned by p throws
+  /// MemoryFailure (§6's partial-memory-failure model; unavailability, not
+  /// corruption). Independent of process crashes: a host's memory can fail
+  /// while its process keeps running, and vice versa. Empty = no failures.
+  std::vector<std::optional<Step>> memory_fail_at;
+
+  /// Scheduling weights (default 1.0 each): the adversary picks the next
+  /// process proportionally. Zero-weight processes are only scheduled if no
+  /// positive-weight process is runnable.
+  std::vector<double> sched_weight;
+
+  /// Timeliness guarantee (§3): if set, `timely` is scheduled at least once
+  /// in every window of `timely_bound` global steps. This is the "at least
+  /// one timely process" assumption of §5; all other processes may be
+  /// arbitrarily (but fairly-randomly) delayed.
+  std::optional<Pid> timely;
+  Step timely_bound = 16;
+
+  [[nodiscard]] std::size_t n() const noexcept { return gsm.size(); }
+};
+
+}  // namespace mm::runtime

@@ -1,0 +1,395 @@
+#include "runtime/sim_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mm::runtime {
+
+// ---------------------------------------------------------------------------
+// SimEnv — forwards to the runtime, tagged with the calling pid.
+// ---------------------------------------------------------------------------
+
+std::size_t SimEnv::n() const { return rt_->config().n(); }
+void SimEnv::send(Pid to, Message m) { rt_->env_send(self_, to, std::move(m)); }
+std::vector<Message> SimEnv::drain_inbox() { return rt_->env_drain(self_); }
+RegId SimEnv::reg(RegKey key) { return rt_->env_reg(self_, key); }
+std::uint64_t SimEnv::read(RegId r) { return rt_->env_read(self_, r); }
+void SimEnv::write(RegId r, std::uint64_t v) { rt_->env_write(self_, r, v); }
+std::uint64_t SimEnv::cas(RegId r, std::uint64_t expected, std::uint64_t desired) {
+  return rt_->env_cas(self_, r, expected, desired);
+}
+bool SimEnv::coin() { return rt_->proc_rng_[self_.index()].coin(); }
+std::uint64_t SimEnv::rand_below(std::uint64_t bound) {
+  return rt_->proc_rng_[self_.index()].below(bound);
+}
+void SimEnv::step() { rt_->env_step(self_); }
+Step SimEnv::now() const { return rt_->now(); }
+bool SimEnv::stop_requested() const { return rt_->stop_requested_; }
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+SimRuntime::SimRuntime(SimConfig config)
+    : config_(std::move(config)),
+      sched_rng_(config_.seed * 0x9e3779b97f4a7c15ULL + 1),
+      link_rng_(config_.seed * 0xc2b2ae3d27d4eb4fULL + 2),
+      pending_(config_.n()),
+      inbox_(config_.n()),
+      metrics_(config_.n()) {
+  MM_ASSERT_MSG(config_.n() >= 1, "need at least one process");
+  MM_ASSERT_MSG(config_.n() <= 64 || !config_.partition.has_value(),
+                "partition masks require n <= 64");
+  Rng seeder{config_.seed ^ 0xa5a5a5a5a5a5a5a5ULL};
+  proc_rng_.reserve(config_.n());
+  for (std::size_t i = 0; i < config_.n(); ++i) proc_rng_.push_back(seeder.split());
+  if (!config_.crash_at.empty())
+    MM_ASSERT_MSG(config_.crash_at.size() == config_.n(), "crash plan arity");
+  if (!config_.memory_fail_at.empty())
+    MM_ASSERT_MSG(config_.memory_fail_at.size() == config_.n(), "memory-fail plan arity");
+  if (!config_.sched_weight.empty())
+    MM_ASSERT_MSG(config_.sched_weight.size() == config_.n(), "sched weight arity");
+}
+
+SimRuntime::~SimRuntime() { shutdown(); }
+
+void SimRuntime::add_process(std::function<void(Env&)> body) {
+  MM_ASSERT_MSG(!started_, "cannot add processes after start");
+  MM_ASSERT_MSG(procs_.size() < config_.n(), "more bodies than config.n()");
+  auto proc = std::make_unique<Proc>();
+  proc->body = std::move(body);
+  proc->env = std::make_unique<SimEnv>(*this, Pid{static_cast<std::uint32_t>(procs_.size())});
+  procs_.push_back(std::move(proc));
+}
+
+void SimRuntime::start() {
+  if (started_) return;
+  MM_ASSERT_MSG(procs_.size() == config_.n(), "add exactly n process bodies before start");
+  started_ = true;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    procs_[i]->state = ProcState::kParked;
+    procs_[i]->thread = std::thread([this, i] { thread_main(i); });
+  }
+}
+
+void SimRuntime::thread_main(std::size_t idx) {
+  Proc& pr = *procs_[idx];
+  pr.resume.acquire();
+  if (!pr.kill) {
+    try {
+      pr.body(*pr.env);
+    } catch (const ProcessKilled&) {
+      // Normal teardown path.
+    } catch (...) {
+      pr.error = std::current_exception();
+    }
+  }
+  pr.finished_flag = true;
+  pr.done.release();
+}
+
+void SimRuntime::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (started_) {
+    for (auto& pr : procs_) {
+      if (!pr->finished_flag) {
+        pr->kill = true;
+        pr->resume.release();
+        pr->done.acquire();
+      }
+      if (pr->thread.joinable()) pr->thread.join();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+bool SimRuntime::runnable(const Proc& p) const { return p.state == ProcState::kParked; }
+
+void SimRuntime::apply_crash_plan() {
+  if (config_.crash_at.empty()) return;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const auto& at = config_.crash_at[i];
+    if (at.has_value() && *at <= global_step_ && procs_[i]->state == ProcState::kParked) {
+      procs_[i]->state = ProcState::kCrashed;
+      trace_event(Pid{static_cast<std::uint32_t>(i)}, TraceEvent::Kind::kCrash);
+    }
+  }
+}
+
+void SimRuntime::crash_now(Pid p) {
+  MM_ASSERT(p.index() < procs_.size());
+  if (procs_[p.index()]->state == ProcState::kParked) {
+    procs_[p.index()]->state = ProcState::kCrashed;
+    trace_event(p, TraceEvent::Kind::kCrash);
+  }
+}
+
+void SimRuntime::enable_trace(std::size_t capacity) {
+  trace_capacity_ = capacity;
+  trace_.clear();
+}
+
+void SimRuntime::trace_event(Pid pid, TraceEvent::Kind kind, std::uint64_t a, std::uint64_t b) {
+  if (trace_capacity_ == 0) return;
+  trace_.push_back(TraceEvent{global_step_, pid, kind, a, b});
+  while (trace_.size() > trace_capacity_) trace_.pop_front();
+}
+
+std::string SimRuntime::dump_trace(std::size_t last_n) const {
+  static constexpr const char* kNames[] = {"sched", "send ", "deliv", "drop ",
+                                           "read ", "write", "cas  ", "crash"};
+  std::string out;
+  const std::size_t start = trace_.size() > last_n ? trace_.size() - last_n : 0;
+  char line[128];
+  for (std::size_t i = start; i < trace_.size(); ++i) {
+    const TraceEvent& e = trace_[i];
+    std::snprintf(line, sizeof line, "%8llu %-4s %s a=%llu b=%llu\n",
+                  static_cast<unsigned long long>(e.step),
+                  to_string(e.pid).c_str(), kNames[static_cast<std::size_t>(e.kind)],
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += line;
+  }
+  return out;
+}
+
+bool SimRuntime::step_once() {
+  apply_crash_plan();
+
+  std::vector<std::size_t> run;
+  run.reserve(procs_.size());
+  for (std::size_t i = 0; i < procs_.size(); ++i)
+    if (runnable(*procs_[i])) run.push_back(i);
+  if (run.empty()) return false;
+
+  // Externally driven schedules (exhaustive exploration) bypass the
+  // adversary entirely.
+  if (schedule_policy_) {
+    std::vector<Pid> runnable_pids;
+    runnable_pids.reserve(run.size());
+    for (const std::size_t i : run) runnable_pids.push_back(Pid{static_cast<std::uint32_t>(i)});
+    const std::size_t choice = schedule_policy_(runnable_pids);
+    MM_ASSERT_MSG(choice < run.size(), "schedule policy choice out of range");
+    Proc& chosen = *procs_[run[choice]];
+    ++metrics_.steps_by_proc[run[choice]];
+    trace_event(Pid{static_cast<std::uint32_t>(run[choice])}, TraceEvent::Kind::kSchedule);
+    chosen.resume.release();
+    chosen.done.acquire();
+    if (chosen.finished_flag) chosen.state = ProcState::kFinished;
+    ++global_step_;
+    return true;
+  }
+
+  // Timeliness guarantee (§3): force-schedule the timely process before its
+  // window closes; otherwise pick adversarially at random (weighted).
+  std::size_t pick = run.front();
+  bool forced = false;
+  ++steps_since_timely_;
+  if (config_.timely.has_value()) {
+    const std::size_t t = config_.timely->index();
+    if (t < procs_.size() && runnable(*procs_[t]) &&
+        steps_since_timely_ >= config_.timely_bound) {
+      pick = t;
+      forced = true;
+    }
+  }
+  if (!forced) {
+    double total = 0.0;
+    for (std::size_t i : run)
+      total += config_.sched_weight.empty() ? 1.0 : config_.sched_weight[i];
+    if (total <= 0.0) {
+      pick = run[sched_rng_.below(run.size())];
+    } else {
+      double r = sched_rng_.uniform01() * total;
+      pick = run.back();
+      for (std::size_t i : run) {
+        const double w = config_.sched_weight.empty() ? 1.0 : config_.sched_weight[i];
+        if (r < w) {
+          pick = i;
+          break;
+        }
+        r -= w;
+      }
+    }
+  }
+  if (config_.timely.has_value() && pick == config_.timely->index()) steps_since_timely_ = 0;
+
+  Proc& pr = *procs_[pick];
+  ++metrics_.steps_by_proc[pick];
+  trace_event(Pid{static_cast<std::uint32_t>(pick)}, TraceEvent::Kind::kSchedule);
+  pr.resume.release();
+  pr.done.acquire();
+  if (pr.finished_flag) pr.state = ProcState::kFinished;
+  ++global_step_;
+  return true;
+}
+
+Step SimRuntime::run_steps(Step k) {
+  start();
+  MM_ASSERT_MSG(!shut_down_, "runtime already shut down");
+  Step done = 0;
+  while (done < k && step_once()) ++done;
+  return done;
+}
+
+bool SimRuntime::run_until_all_done(Step budget) {
+  start();
+  while (global_step_ < budget) {
+    if (!step_once()) break;
+  }
+  return all_done();
+}
+
+bool SimRuntime::finished(Pid p) const {
+  MM_ASSERT(p.index() < procs_.size());
+  return procs_[p.index()]->state == ProcState::kFinished;
+}
+
+bool SimRuntime::crashed(Pid p) const {
+  MM_ASSERT(p.index() < procs_.size());
+  return procs_[p.index()]->state == ProcState::kCrashed;
+}
+
+bool SimRuntime::all_done() const {
+  return std::all_of(procs_.begin(), procs_.end(), [](const auto& pr) {
+    return pr->state == ProcState::kFinished || pr->state == ProcState::kCrashed;
+  });
+}
+
+void SimRuntime::rethrow_process_error() const {
+  for (const auto& pr : procs_)
+    if (pr->error) std::rethrow_exception(pr->error);
+}
+
+// ---------------------------------------------------------------------------
+// Env backends — run on the (single) active process thread.
+// ---------------------------------------------------------------------------
+
+void SimRuntime::env_step(Pid self) {
+  Proc& pr = *procs_[self.index()];
+  pr.done.release();
+  pr.resume.acquire();
+  if (pr.kill) throw ProcessKilled{};
+}
+
+void SimRuntime::maybe_auto_step(Pid self) {
+  if (auto_step_on_shm_) env_step(self);
+}
+
+void SimRuntime::env_send(Pid from, Pid to, Message m) {
+  MM_ASSERT(to.index() < config_.n());
+  ++metrics_.msgs_sent;
+  ++metrics_.sends_by_proc[from.index()];
+  if (config_.link_type == LinkType::kFairLossy && link_rng_.bernoulli(config_.drop_prob)) {
+    ++metrics_.msgs_dropped;
+    trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
+    return;
+  }
+  trace_event(from, TraceEvent::Kind::kSend, to.value(), m.kind);
+  m.from = from;
+  Step deliver_at = global_step_ + link_rng_.between(config_.min_delay, config_.max_delay);
+  if (config_.partition.has_value()) {
+    const Partition& part = *config_.partition;
+    // A message crossing the partition during its window is held until the
+    // window closes: pure extra asynchrony, never a loss.
+    if (part.crosses(from, to) && global_step_ < part.until && deliver_at >= part.from) {
+      deliver_at = part.until + link_rng_.between(config_.min_delay, config_.max_delay);
+    }
+  }
+  pending_[to.index()].emplace(std::pair{deliver_at, send_seq_++}, std::move(m));
+}
+
+void SimRuntime::deliver_eligible(Pid to) {
+  auto& pend = pending_[to.index()];
+  auto& box = inbox_[to.index()];
+  while (!pend.empty() && pend.begin()->first.first <= global_step_) {
+    trace_event(pend.begin()->second.from, TraceEvent::Kind::kDeliver, to.value(),
+                pend.begin()->second.kind);
+    box.push_back(std::move(pend.begin()->second));
+    pend.erase(pend.begin());
+    ++metrics_.msgs_delivered;
+  }
+}
+
+std::vector<Message> SimRuntime::env_drain(Pid self) {
+  deliver_eligible(self);
+  std::vector<Message> out;
+  out.swap(inbox_[self.index()]);
+  return out;
+}
+
+RegId SimRuntime::env_reg(Pid self, RegKey key) {
+  auto it = reg_index_.find(key);
+  if (it == reg_index_.end()) {
+    const auto idx = static_cast<std::uint32_t>(reg_values_.size());
+    reg_values_.push_back(0);
+    reg_meta_.push_back(RegMeta{key.owner(), key.is_global()});
+    it = reg_index_.emplace(key, idx).first;
+  }
+  const RegId r{it->second};
+  check_register_access(self, r);
+  return r;
+}
+
+void SimRuntime::check_register_access(Pid accessor, RegId r) const {
+  MM_ASSERT(r.index() < reg_meta_.size());
+  const RegMeta& meta = reg_meta_[r.index()];
+  if (!meta.global && !config_.memory_fail_at.empty()) {
+    const auto& fail = config_.memory_fail_at[meta.owner.index()];
+    if (fail.has_value() && *fail <= global_step_) {
+      throw MemoryFailure{"memory hosted at " + to_string(meta.owner) + " has failed"};
+    }
+  }
+  if (meta.global || accessor == meta.owner) return;
+  MM_ASSERT_MSG(meta.owner.index() < config_.n(), "register owner out of range");
+  if (!config_.gsm.has_edge(accessor, meta.owner)) {
+    throw ModelViolation{to_string(accessor) + " accessed register owned by " +
+                         to_string(meta.owner) + " outside its shared-memory domain"};
+  }
+}
+
+std::uint64_t SimRuntime::env_read(Pid self, RegId r) {
+  maybe_auto_step(self);
+  check_register_access(self, r);
+  ++metrics_.reg_reads;
+  ++metrics_.reads_by_proc[self.index()];
+  if (reg_meta_[r.index()].owner == self) {
+    ++metrics_.reg_reads_local;
+  } else {
+    ++metrics_.remote_reads_by_proc[self.index()];
+  }
+  trace_event(self, TraceEvent::Kind::kRegRead, r.value(), reg_values_[r.index()]);
+  return reg_values_[r.index()];
+}
+
+void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
+  maybe_auto_step(self);
+  check_register_access(self, r);
+  ++metrics_.reg_writes;
+  ++metrics_.writes_by_proc[self.index()];
+  if (reg_meta_[r.index()].owner == self) {
+    ++metrics_.reg_writes_local;
+  } else {
+    ++metrics_.remote_writes_by_proc[self.index()];
+  }
+  trace_event(self, TraceEvent::Kind::kRegWrite, r.value(), v);
+  reg_values_[r.index()] = v;
+}
+
+std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
+                                  std::uint64_t desired) {
+  maybe_auto_step(self);
+  check_register_access(self, r);
+  ++metrics_.reg_cas_ops;
+  trace_event(self, TraceEvent::Kind::kRegCas, r.value(), reg_values_[r.index()]);
+  const std::uint64_t old = reg_values_[r.index()];
+  if (old == expected) reg_values_[r.index()] = desired;
+  return old;
+}
+
+}  // namespace mm::runtime

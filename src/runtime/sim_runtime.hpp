@@ -1,0 +1,219 @@
+// Deterministic cooperative simulator for the m&m model.
+//
+// Each process runs on its own OS thread but exactly one is ever runnable:
+// the scheduler and the running process hand execution back and forth
+// through a pair of binary semaphores. Algorithms therefore execute real
+// sequential C++ (no state-machine contortions) while the schedule — the
+// interleaving of steps, message delays, drops, partitions, and crashes — is
+// a pure function of (SimConfig.seed, config). Every test failure is
+// replayable from its seed.
+//
+// Adversary strength: by default every shared-register access yields to the
+// scheduler first (auto_step_on_shm), so interleavings are adversarial at
+// register-operation granularity — the granularity at which linearizability
+// of the register layer matters for the algorithms' safety proofs.
+#pragma once
+
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/env.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/sim_config.hpp"
+
+namespace mm::runtime {
+
+class SimRuntime;
+
+/// Per-process Env implementation; a thin facade over the runtime.
+class SimEnv final : public Env {
+ public:
+  SimEnv(SimRuntime& rt, Pid self) : rt_(&rt), self_(self) {}
+
+  [[nodiscard]] Pid self() const override { return self_; }
+  [[nodiscard]] std::size_t n() const override;
+  void send(Pid to, Message m) override;
+  [[nodiscard]] std::vector<Message> drain_inbox() override;
+  [[nodiscard]] RegId reg(RegKey key) override;
+  [[nodiscard]] std::uint64_t read(RegId r) override;
+  void write(RegId r, std::uint64_t v) override;
+  std::uint64_t cas(RegId r, std::uint64_t expected, std::uint64_t desired) override;
+  [[nodiscard]] bool coin() override;
+  [[nodiscard]] std::uint64_t rand_below(std::uint64_t bound) override;
+  void step() override;
+  [[nodiscard]] Step now() const override;
+  [[nodiscard]] bool stop_requested() const override;
+
+ private:
+  SimRuntime* rt_;
+  Pid self_;
+};
+
+class SimRuntime {
+ public:
+  explicit SimRuntime(SimConfig config);
+  ~SimRuntime();
+  SimRuntime(const SimRuntime&) = delete;
+  SimRuntime& operator=(const SimRuntime&) = delete;
+
+  /// Register the body of the next process (call exactly n times, in pid
+  /// order, before start()).
+  void add_process(std::function<void(Env&)> body);
+
+  /// Spawn the (parked) process threads. Implicit in the first run call.
+  void start();
+
+  /// Execute up to `k` scheduler steps. Returns the number executed, which
+  /// is smaller only if every process finished or crashed first.
+  Step run_steps(Step k);
+
+  /// Run until all processes are finished/crashed or `budget` total steps
+  /// have elapsed since construction. True iff all are done.
+  bool run_until_all_done(Step budget);
+
+  /// Kill parked processes and join all threads. Idempotent; also called by
+  /// the destructor. After shutdown the runtime can only be inspected.
+  void shutdown();
+
+  /// Crash p at the next scheduling decision (dynamic injection).
+  void crash_now(Pid p);
+  /// Cooperative stop flag, visible through Env::stop_requested().
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool finished(Pid p) const;
+  [[nodiscard]] bool crashed(Pid p) const;
+  [[nodiscard]] bool all_done() const;
+  /// Rethrows the first non-kill exception that escaped a process body, if
+  /// any. Call after a run to surface algorithm bugs in tests.
+  void rethrow_process_error() const;
+
+  [[nodiscard]] Step now() const noexcept { return global_step_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Interleave at register-op granularity (default on; see header comment).
+  void set_auto_step_on_shm(bool on) noexcept { auto_step_on_shm_ = on; }
+
+  /// Externally controlled scheduling: the policy receives the runnable
+  /// processes (pid order) and returns the index into that list to schedule.
+  /// Overrides weights and the timeliness guarantee. This is the hook the
+  /// exhaustive schedule explorer drives.
+  using SchedulePolicy = std::function<std::size_t(const std::vector<Pid>& runnable)>;
+  void set_schedule_policy(SchedulePolicy policy) { schedule_policy_ = std::move(policy); }
+
+  // -- event tracing (debugging adversarial schedules) -----------------------
+  struct TraceEvent {
+    enum class Kind : std::uint8_t {
+      kSchedule,  ///< pid scheduled for one step
+      kSend,      ///< a = destination pid, b = message kind
+      kDeliver,   ///< a = destination pid, b = message kind (pid = sender)
+      kDrop,      ///< a = destination pid, b = message kind (fair-lossy)
+      kRegRead,   ///< a = register index, b = value read
+      kRegWrite,  ///< a = register index, b = value written
+      kRegCas,    ///< a = register index, b = value observed
+      kCrash,     ///< pid crashed
+    };
+    Step step = 0;
+    Pid pid;
+    Kind kind = Kind::kSchedule;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+
+  /// Keep the last `capacity` events (0 disables tracing, the default).
+  void enable_trace(std::size_t capacity = 65'536);
+  [[nodiscard]] const std::deque<TraceEvent>& trace() const noexcept { return trace_; }
+  /// Render the last `last_n` events, one per line (for failure triage).
+  [[nodiscard]] std::string dump_trace(std::size_t last_n = 100) const;
+
+ private:
+  friend class SimEnv;
+
+  enum class ProcState : std::uint8_t { kNew, kParked, kFinished, kCrashed };
+
+  struct Proc {
+    std::function<void(Env&)> body;
+    std::unique_ptr<SimEnv> env;
+    std::binary_semaphore resume{0};
+    std::binary_semaphore done{0};
+    std::thread thread;
+    ProcState state = ProcState::kNew;
+    bool kill = false;
+    bool finished_flag = false;  ///< set by the process wrapper before its last done.release()
+    std::exception_ptr error;
+    Step last_scheduled = 0;
+  };
+
+  struct RegMeta {
+    Pid owner;
+    bool global = false;
+  };
+
+  struct InFlight {
+    Step deliver_at;
+    std::uint64_t seq;
+    Message msg;
+  };
+
+  void thread_main(std::size_t idx);
+  /// One scheduler step; returns false when no process is runnable.
+  bool step_once();
+  [[nodiscard]] bool runnable(const Proc& p) const;
+  void apply_crash_plan();
+  void check_register_access(Pid accessor, RegId r) const;
+  void deliver_eligible(Pid to);
+
+  // Env backends (called from the running process thread; serialized by the
+  // semaphore handoff, so no locking is needed).
+  void env_send(Pid from, Pid to, Message m);
+  std::vector<Message> env_drain(Pid self);
+  RegId env_reg(Pid self, RegKey key);
+  std::uint64_t env_read(Pid self, RegId r);
+  void env_write(Pid self, RegId r, std::uint64_t v);
+  std::uint64_t env_cas(Pid self, RegId r, std::uint64_t expected, std::uint64_t desired);
+  void env_step(Pid self);
+  void maybe_auto_step(Pid self);
+  void trace_event(Pid pid, TraceEvent::Kind kind, std::uint64_t a = 0, std::uint64_t b = 0);
+
+  SimConfig config_;
+  SchedulePolicy schedule_policy_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  bool started_ = false;
+  bool shut_down_ = false;
+  bool stop_requested_ = false;
+  bool auto_step_on_shm_ = true;
+
+  Step global_step_ = 0;
+  Step steps_since_timely_ = 0;
+  std::uint64_t send_seq_ = 0;
+
+  Rng sched_rng_;
+  Rng link_rng_;
+  std::vector<Rng> proc_rng_;
+
+  // Register table.
+  std::unordered_map<RegKey, std::uint32_t> reg_index_;
+  std::vector<std::uint64_t> reg_values_;
+  std::vector<RegMeta> reg_meta_;
+
+  // Per-destination pending messages ordered by (deliver_at, seq); inbox of
+  // already-delivered messages awaiting drain.
+  std::vector<std::map<std::pair<Step, std::uint64_t>, Message>> pending_;
+  std::vector<std::vector<Message>> inbox_;
+
+  std::size_t trace_capacity_ = 0;
+  std::deque<TraceEvent> trace_;
+
+  Metrics metrics_;
+};
+
+}  // namespace mm::runtime

@@ -1,0 +1,148 @@
+// Free-running multithreaded runtime: one std::jthread per process, real
+// atomics for registers, mutexed mailboxes for links. The same algorithm
+// objects that run under SimRuntime run here unchanged — used by benches to
+// confirm results are not artifacts of cooperative scheduling, and by the
+// examples that want wall-clock behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "runtime/env.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/sim_config.hpp"
+
+namespace mm::runtime {
+
+class ThreadRuntime;
+
+class ThreadEnv final : public Env {
+ public:
+  ThreadEnv(ThreadRuntime& rt, Pid self, Rng rng) : rt_(&rt), self_(self), rng_(rng) {}
+
+  [[nodiscard]] Pid self() const override { return self_; }
+  [[nodiscard]] std::size_t n() const override;
+  void send(Pid to, Message m) override;
+  [[nodiscard]] std::vector<Message> drain_inbox() override;
+  [[nodiscard]] RegId reg(RegKey key) override;
+  [[nodiscard]] std::uint64_t read(RegId r) override;
+  void write(RegId r, std::uint64_t v) override;
+  std::uint64_t cas(RegId r, std::uint64_t expected, std::uint64_t desired) override;
+  [[nodiscard]] bool coin() override { return rng_.coin(); }
+  [[nodiscard]] std::uint64_t rand_below(std::uint64_t bound) override {
+    return rng_.below(bound);
+  }
+  void step() override;
+  [[nodiscard]] Step now() const override;
+  [[nodiscard]] bool stop_requested() const override;
+
+ private:
+  friend class ThreadRuntime;
+  ThreadRuntime* rt_;
+  Pid self_;
+  Rng rng_;
+};
+
+class ThreadRuntime {
+ public:
+  struct Config {
+    graph::Graph gsm;
+    std::uint64_t seed = 1;
+    LinkType link_type = LinkType::kReliable;
+    double drop_prob = 0.0;
+    /// Optional politeness: call std::this_thread::yield() inside step()
+    /// (keeps oversubscribed runs from burning a full quantum per spin).
+    bool yield_on_step = true;
+
+    [[nodiscard]] std::size_t n() const noexcept { return gsm.size(); }
+  };
+
+  explicit ThreadRuntime(Config config);
+  ~ThreadRuntime();
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  void add_process(std::function<void(Env&)> body);
+  /// Launch every process thread. Processes run concurrently until their
+  /// body returns, they are crashed, or the runtime is stopped.
+  void start();
+  /// Block until every process body has returned.
+  void join_all();
+  /// Cooperative global stop: Env::stop_requested() turns true everywhere.
+  void request_stop();
+  /// Simulated crash: p's next step() throws ProcessKilled, which unwinds
+  /// its body. p's registers remain readable (RDMA semantics, §3).
+  void crash(Pid p);
+
+  /// Simulated partial shared-memory failure (§6 future work): every later
+  /// access to a register hosted at p throws MemoryFailure. Independent of
+  /// crash(p) — the process may keep running.
+  void fail_memory(Pid host);
+
+  [[nodiscard]] bool finished(Pid p) const;
+  [[nodiscard]] Metrics metrics_snapshot() const;
+  void rethrow_process_error() const;
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  friend class ThreadEnv;
+
+  struct Proc {
+    std::function<void(Env&)> body;
+    std::unique_ptr<ThreadEnv> env;
+    std::jthread thread;
+    std::atomic<bool> kill{false};
+    std::atomic<bool> finished{false};
+    std::exception_ptr error;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::vector<Message> messages;
+  };
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> msgs_sent{0}, msgs_delivered{0}, msgs_dropped{0};
+    std::atomic<std::uint64_t> reg_reads{0}, reg_writes{0}, reg_cas_ops{0};
+    std::atomic<std::uint64_t> reg_reads_local{0}, reg_writes_local{0};
+  };
+
+  struct PerProcCounters {
+    std::atomic<std::uint64_t> steps{0}, sends{0}, reads{0}, writes{0};
+    std::atomic<std::uint64_t> remote_reads{0}, remote_writes{0};
+  };
+
+  void check_register_access(Pid accessor, RegId r) const;
+  void check_memory_alive(RegId r) const;
+  std::atomic<std::uint64_t>& slot(RegId r) const;
+
+  Config config_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<Step> clock_{0};
+
+  // Register table: creation is rare and mutex-guarded; the deque keeps
+  // element addresses stable so reads/writes go lock-free to the atomic.
+  mutable std::mutex reg_mutex_;
+  std::unordered_map<RegKey, std::uint32_t> reg_index_;
+  mutable std::deque<std::atomic<std::uint64_t>> reg_values_;
+  std::vector<Pid> reg_owner_;
+  std::vector<bool> reg_global_;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> memory_failed_;  ///< per host
+  AtomicCounters counters_;
+  std::vector<std::unique_ptr<PerProcCounters>> per_proc_;
+};
+
+}  // namespace mm::runtime

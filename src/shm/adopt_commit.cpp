@@ -1,0 +1,53 @@
+#include "shm/adopt_commit.hpp"
+
+#include "common/assert.hpp"
+
+namespace mm::shm {
+
+using runtime::Env;
+using runtime::RegKey;
+
+namespace {
+constexpr std::uint64_t kBottom = 0;  // register value 0 encodes ⊥; v as v+1
+}
+
+AdoptCommit::AdoptCommit(RegKey base, std::uint32_t domain) : base_(base), domain_(domain) {
+  MM_ASSERT_MSG(domain >= 1 && domain <= 8, "adopt-commit value domain must be 1..8");
+  MM_ASSERT_MSG(base.slot() + 1 + domain <= 255, "slot space exhausted");
+}
+
+RegKey AdoptCommit::a_key() const noexcept {
+  return RegKey::make(base_.tag(), base_.owner(), base_.round(), base_.slot());
+}
+
+RegKey AdoptCommit::b_key(std::uint32_t value) const noexcept {
+  return RegKey::make(base_.tag(), base_.owner(), base_.round(),
+                      static_cast<std::uint8_t>(base_.slot() + 1 + value));
+}
+
+AcResult AdoptCommit::propose(Env& env, std::uint32_t value) const {
+  MM_ASSERT(value < domain_);
+  // 1. Announce the value.
+  runtime::write_key(env, b_key(value), 1);
+  // 2. Race for the first proposal; losers keep whatever is there.
+  const RegId a = env.reg(a_key());
+  if (env.read(a) == kBottom) env.write(a, value + 1);
+  const std::uint64_t w_enc = env.read(a);
+  MM_ASSERT_MSG(w_enc != kBottom && w_enc <= domain_, "corrupt adopt-commit register");
+  const auto w = static_cast<std::uint32_t>(w_enc - 1);
+  // 3. Commit only if no conflicting announcement is visible.
+  for (std::uint32_t u = 0; u < domain_; ++u) {
+    if (u == w) continue;
+    if (runtime::read_key(env, b_key(u)) != 0) return AcResult{false, w};
+  }
+  return AcResult{true, w};
+}
+
+std::uint64_t AdoptCommit::seen_mask(Env& env) const {
+  std::uint64_t mask = 0;
+  for (std::uint32_t u = 0; u < domain_; ++u)
+    if (runtime::read_key(env, b_key(u)) != 0) mask |= 1ULL << u;
+  return mask;
+}
+
+}  // namespace mm::shm

@@ -1,0 +1,64 @@
+// Adopt-commit object from atomic read/write registers.
+//
+// An adopt-commit object AC supports propose(v) returning (commit, w) or
+// (adopt, w) such that:
+//   * Validity:    w was proposed by some process.
+//   * Coherence:   if any process returns (commit, w), every process
+//                  returns (·, w) — same w, commit or adopt.
+//   * Convergence: if all proposals equal v, every return is (commit, v).
+//   * Wait-free:   a constant number of register operations.
+//
+// Construction (registers: a — MWMR value register, init ⊥;
+//                b[u] — MWMR boolean per value u, init false):
+//
+//     propose(v):
+//       b[v] ← true
+//       if a = ⊥ then a ← v
+//       w ← a                                   // never ⊥ here
+//       if b[u] for some u ≠ w: return (adopt, w)
+//       return (commit, w)
+//
+// Why coherence holds: suppose p returns (commit, w). p read a = w and then
+// b[u] = false for every u ≠ w. Any process q with input u ≠ w writes b[u]
+// BEFORE touching a; since p later read b[u] = false, q's write of b[u] —
+// and hence q's read of a — linearizes after p's read of a = w. So q reads
+// a ≠ ⊥ and never writes a: a holds w forever, and every propose returns w.
+// (Tests exercise this under per-operation adversarial interleavings.)
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/env.hpp"
+
+namespace mm::shm {
+
+struct AcResult {
+  bool committed = false;
+  std::uint32_t value = 0;
+};
+
+/// Stateless handle: all state lives in registers derived from `base`.
+/// Layout (owner/tag/round from base): slot base+0 = a, base+1+u = b[u].
+/// `domain` is the number of admissible values (v ∈ [0, domain)); ≤ 8.
+class AdoptCommit {
+ public:
+  AdoptCommit(runtime::RegKey base, std::uint32_t domain);
+
+  [[nodiscard]] AcResult propose(runtime::Env& env, std::uint32_t value) const;
+
+  [[nodiscard]] std::uint32_t domain() const noexcept { return domain_; }
+
+  /// Values u with b[u] set — the proposals visible so far. Used by the
+  /// randomized consensus conciliator to randomize only among real inputs
+  /// (preserving Validity).
+  [[nodiscard]] std::uint64_t seen_mask(runtime::Env& env) const;
+
+ private:
+  [[nodiscard]] runtime::RegKey a_key() const noexcept;
+  [[nodiscard]] runtime::RegKey b_key(std::uint32_t value) const noexcept;
+
+  runtime::RegKey base_;
+  std::uint32_t domain_;
+};
+
+}  // namespace mm::shm

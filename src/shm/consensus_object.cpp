@@ -1,0 +1,86 @@
+#include "shm/consensus_object.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "shm/adopt_commit.hpp"
+
+namespace mm::shm {
+
+using runtime::Env;
+using runtime::RegKey;
+
+const char* to_string(ConsensusImpl impl) noexcept {
+  switch (impl) {
+    case ConsensusImpl::kCas: return "cas";
+    case ConsensusImpl::kRw: return "rw";
+  }
+  return "?";
+}
+
+ConsensusObject::ConsensusObject(RegKey base, std::uint32_t domain, ConsensusImpl impl)
+    : base_(base), domain_(domain), impl_(impl) {
+  MM_ASSERT_MSG(domain >= 1 && domain <= 6, "consensus domain must be 1..6");
+  MM_ASSERT_MSG(base.slot() == 0, "consensus object needs the full slot space");
+  MM_ASSERT_MSG(base.round() < (1ULL << 24), "round space exhausted");
+}
+
+RegKey ConsensusObject::internal_key(std::uint32_t internal_round, std::uint8_t slot) const noexcept {
+  return RegKey::make(base_.tag(), base_.owner(), base_.round() * 256 + internal_round, slot);
+}
+
+std::uint32_t ConsensusObject::propose(Env& env, std::uint32_t value) const {
+  MM_ASSERT(value < domain_);
+  return impl_ == ConsensusImpl::kCas ? propose_cas(env, value) : propose_rw(env, value);
+}
+
+std::uint32_t ConsensusObject::propose_cas(Env& env, std::uint32_t value) const {
+  const RegId r = env.reg(internal_key(0, 0));
+  // 0 encodes "unset"; first CAS from 0 wins and fixes the decision.
+  const std::uint64_t old = env.cas(r, 0, value + 1);
+  const std::uint64_t won = old == 0 ? value + 1 : old;
+  MM_ASSERT_MSG(won >= 1 && won <= domain_, "corrupt consensus register");
+  return static_cast<std::uint32_t>(won - 1);
+}
+
+std::uint32_t ConsensusObject::propose_rw(Env& env, std::uint32_t value) const {
+  const RegId decision = env.reg(internal_key(255, 0));
+  std::uint32_t v = value;
+  for (std::uint32_t r = 0; r < kMaxInternalRounds; ++r) {
+    const std::uint64_t d = env.read(decision);
+    if (d != 0) {
+      MM_ASSERT(d <= domain_);
+      return static_cast<std::uint32_t>(d - 1);
+    }
+    // Conciliator r: publish v; with probability 1/2 jump to the published
+    // value. pool only ever holds proposed values, so Validity is preserved.
+    const RegId pool = env.reg(internal_key(r, 0));
+    env.write(pool, v + 1);
+    if (env.coin()) {
+      const std::uint64_t seen = env.read(pool);
+      MM_ASSERT(seen >= 1 && seen <= domain_);
+      v = static_cast<std::uint32_t>(seen - 1);
+    }
+    // Adopt-commit r.
+    const AdoptCommit ac{internal_key(r, 1), domain_};
+    const AcResult res = ac.propose(env, v);
+    if (res.committed) {
+      env.write(decision, res.value + 1);
+      return res.value;
+    }
+    v = res.value;
+  }
+  MM_ASSERT_MSG(false, "randomized consensus exceeded internal round budget");
+  return v;  // unreachable
+}
+
+std::uint32_t ConsensusObject::peek(Env& env) const {
+  if (impl_ == ConsensusImpl::kCas) {
+    const std::uint64_t v = env.read(env.reg(internal_key(0, 0)));
+    return v == 0 ? domain_ : static_cast<std::uint32_t>(v - 1);
+  }
+  const std::uint64_t d = env.read(env.reg(internal_key(255, 0)));
+  return d == 0 ? domain_ : static_cast<std::uint32_t>(d - 1);
+}
+
+}  // namespace mm::shm

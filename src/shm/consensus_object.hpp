@@ -1,0 +1,79 @@
+// Wait-free consensus objects over shared registers.
+//
+// HBO (Fig. 2) relies on per-neighborhood consensus objects RVals[q, k] and
+// PVals[q, k] so that all of q's neighbors agree on the message q "sends".
+// The paper implements them with known randomized wait-free shared-memory
+// consensus algorithms [10, 12]. We provide two interchangeable
+// implementations (the E9 ablation):
+//
+//  * kCas — a single compare-and-swap decides: first proposal wins. This is
+//    what real RDMA hardware offers (one-sided CAS verb); deterministic and
+//    constant-time.
+//  * kRw  — randomized consensus from read/write registers only, faithful to
+//    the model's "atomic read-write registers" (§3): rounds of a
+//    validity-preserving conciliator followed by an adopt-commit object,
+//    with a decision register as fast path. Safety (agreement/validity) is
+//    deterministic; termination holds with probability 1 (local coins, as
+//    in Ben-Or [15]/[7]).
+//
+// Safety of the kRw round structure: if some process commits w at AC[r],
+// adopt-commit coherence hands w to every process that passes AC[r], so all
+// conciliator inputs from round r+1 on are w; conciliators only output
+// values they were given, so every later commit is w, and the decision
+// register only ever holds w.
+//
+// All state lives in registers named from a base key, so the object handle
+// is freely copyable and the same object is addressable from every process
+// in the owner's neighborhood.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/env.hpp"
+
+namespace mm::shm {
+
+enum class ConsensusImpl : std::uint8_t { kCas, kRw };
+
+[[nodiscard]] const char* to_string(ConsensusImpl impl) noexcept;
+
+/// A named consensus object for values in [0, domain), domain ≤ 6.
+///
+/// Register layout under base (owner/tag fixed, base.slot() must be 0, and
+/// base.round() < 2^24 since internal rounds use the low 8 round bits):
+///   kCas: one register at round' = base.round * 256.
+///   kRw:  internal round r ∈ [0, 253]:
+///           round' = base.round * 256 + r, slot 0 = conciliator pool,
+///           slots 1.. = the adopt-commit object (a, b[*]).
+///         decision register D: round' = base.round * 256 + 255, slot 0.
+class ConsensusObject {
+ public:
+  ConsensusObject(runtime::RegKey base, std::uint32_t domain, ConsensusImpl impl);
+
+  /// Propose `value`; returns the object's decided value (the same for every
+  /// caller). Wait-free: kCas is O(1); kRw terminates with probability 1 and
+  /// aborts the process after an astronomically unlikely number of unlucky
+  /// internal rounds (kMaxInternalRounds).
+  [[nodiscard]] std::uint32_t propose(runtime::Env& env, std::uint32_t value) const;
+
+  /// Peek at the decision: returns domain() if undecided so far. (kCas: the
+  /// register itself; kRw: the decision fast-path register.)
+  [[nodiscard]] std::uint32_t peek(runtime::Env& env) const;
+
+  [[nodiscard]] std::uint32_t domain() const noexcept { return domain_; }
+  [[nodiscard]] ConsensusImpl impl() const noexcept { return impl_; }
+
+  static constexpr std::uint32_t kMaxInternalRounds = 254;
+
+ private:
+  [[nodiscard]] std::uint32_t propose_cas(runtime::Env& env, std::uint32_t value) const;
+  [[nodiscard]] std::uint32_t propose_rw(runtime::Env& env, std::uint32_t value) const;
+  [[nodiscard]] runtime::RegKey internal_key(std::uint32_t internal_round,
+                                             std::uint8_t slot) const noexcept;
+
+  runtime::RegKey base_;
+  std::uint32_t domain_;
+  ConsensusImpl impl_;
+};
+
+}  // namespace mm::shm

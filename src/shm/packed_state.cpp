@@ -1,0 +1,22 @@
+#include "shm/packed_state.hpp"
+
+#include <algorithm>
+
+namespace mm::shm {
+
+std::uint64_t pack(const LeaderState& s) noexcept {
+  const std::uint64_t hb = std::min(s.hb, kMaxHb);
+  const std::uint32_t counter = std::min(s.counter, kMaxBadness);
+  return (hb << 24) | (static_cast<std::uint64_t>(counter) << 1) |
+         (s.active ? 1ULL : 0ULL);
+}
+
+LeaderState unpack(std::uint64_t bits) noexcept {
+  LeaderState s;
+  s.hb = bits >> 24;
+  s.counter = static_cast<std::uint32_t>((bits >> 1) & kMaxBadness);
+  s.active = (bits & 1ULL) != 0;
+  return s;
+}
+
+}  // namespace mm::shm

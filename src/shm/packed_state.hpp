@@ -1,0 +1,28 @@
+// Bit packing for the leader-election STATE registers.
+//
+// Fig. 3 keeps a triple (hb, counter, active) per process in one shared
+// register. Our registers hold 64 bits, so the triple is packed as
+//   [hb : 40][counter : 23][active : 1]
+// 2^40 heartbeats and 2^23 accusations are far beyond any run this
+// repository performs; both saturate rather than wrap if ever exhausted.
+#pragma once
+
+#include <cstdint>
+
+namespace mm::shm {
+
+struct LeaderState {
+  std::uint64_t hb = 0;       ///< heartbeat counter
+  std::uint32_t counter = 0;  ///< badness (accusation) counter
+  bool active = false;        ///< "I believe I am the leader"
+
+  friend bool operator==(const LeaderState&, const LeaderState&) = default;
+};
+
+[[nodiscard]] std::uint64_t pack(const LeaderState& s) noexcept;
+[[nodiscard]] LeaderState unpack(std::uint64_t bits) noexcept;
+
+inline constexpr std::uint64_t kMaxHb = (1ULL << 40) - 1;
+inline constexpr std::uint32_t kMaxBadness = (1U << 23) - 1;
+
+}  // namespace mm::shm

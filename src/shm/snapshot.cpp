@@ -1,0 +1,100 @@
+#include "shm/snapshot.hpp"
+
+#include "common/assert.hpp"
+
+namespace mm::shm {
+
+using runtime::Env;
+using runtime::RegKey;
+
+// Register layout per segment (round field = slot):
+//   0: seqlock word, 1: value,
+//   2..n+1: embedded snapshot values, n+2..2n+1: embedded snapshot versions.
+RegKey AtomicSnapshot::key(Pid owner, std::uint64_t slot) const {
+  return RegKey::make(tag_, owner, slot);
+}
+
+AtomicSnapshot::Segment AtomicSnapshot::collect_segment(Env& env, Pid owner) {
+  Segment seg;
+  seg.embedded.resize(n_);
+  seg.embedded_versions.resize(n_);
+  const RegId seq_reg = env.reg(key(owner, 0));
+  for (;;) {
+    const std::uint64_t before = env.read(seq_reg);
+    if (before % 2 == 1) {
+      env.step();  // write in progress; let the writer run
+      continue;
+    }
+    seg.value = env.read(env.reg(key(owner, 1)));
+    for (std::size_t q = 0; q < n_; ++q) {
+      seg.embedded[q] = env.read(env.reg(key(owner, 2 + q)));
+      seg.embedded_versions[q] = env.read(env.reg(key(owner, 2 + n_ + q)));
+    }
+    const std::uint64_t after = env.read(seq_reg);
+    if (after == before) {
+      seg.seq = before;
+      return seg;
+    }
+    // Torn read: the writer moved underneath us; retry.
+  }
+}
+
+void AtomicSnapshot::update(Env& env, std::uint64_t value) {
+  // The helping scan that makes concurrent scanners able to borrow our view.
+  const std::vector<Entry> snap = scan(env);
+  MM_ASSERT(snap.size() == n_);
+
+  const Pid self = env.self();
+  const RegId seq_reg = env.reg(key(self, 0));
+  env.write(seq_reg, my_seq_ + 1);  // odd: write in progress
+  env.write(env.reg(key(self, 1)), value);
+  for (std::size_t q = 0; q < n_; ++q) {
+    env.write(env.reg(key(self, 2 + q)), snap[q].value);
+    env.write(env.reg(key(self, 2 + n_ + q)), snap[q].version);
+  }
+  my_seq_ += 2;
+  env.write(seq_reg, my_seq_);  // even: committed
+}
+
+std::vector<AtomicSnapshot::Entry> AtomicSnapshot::scan(Env& env) {
+  MM_ASSERT_MSG(env.n() == n_, "snapshot arity must match the system size");
+  std::vector<bool> moved(n_, false);
+
+  std::vector<Segment> previous;
+  previous.reserve(n_);
+  for (std::uint32_t q = 0; q < n_; ++q) previous.push_back(collect_segment(env, Pid{q}));
+
+  for (;;) {
+    std::vector<Segment> current;
+    current.reserve(n_);
+    for (std::uint32_t q = 0; q < n_; ++q) current.push_back(collect_segment(env, Pid{q}));
+
+    bool clean = true;
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (current[q].seq == previous[q].seq) continue;
+      clean = false;
+      if (moved[q]) {
+        // Segment q completed an entire update inside our scan: its
+        // embedded snapshot was taken within our interval — return it.
+        std::vector<Entry> out(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+          out[i].value = current[q].embedded[i];
+          out[i].version = current[q].embedded_versions[i];
+        }
+        return out;
+      }
+      moved[q] = true;
+    }
+    if (clean) {
+      std::vector<Entry> out(n_);
+      for (std::size_t q = 0; q < n_; ++q) {
+        out[q].value = current[q].value;
+        out[q].version = current[q].seq / 2;
+      }
+      return out;
+    }
+    previous = std::move(current);
+  }
+}
+
+}  // namespace mm::shm

@@ -1,0 +1,73 @@
+// Atomic snapshot object (Afek, Attiya, Dolev, Gafni, Merritt, Shavit) over
+// the m&m register layer — a classic shared-memory primitive built on the
+// same substrate as the paper's algorithms, used here to show the register
+// layer supports composite linearizable objects.
+//
+// Single-writer snapshot: process p owns segment p; update(v) installs v in
+// p's segment, scan() returns a linearizable view of all n segments.
+//
+// Construction (unbounded-version variant):
+//   * A segment is (version, value, embedded snapshot) stored in that
+//     host's registers behind a seqlock (odd version-in-progress marker),
+//     so multi-word segment reads are consistent.
+//   * update(v): s ← scan(); write segment (version+1, v, s).
+//   * scan(): repeated double collects. A clean double collect (no version
+//     moved) returns directly. A segment observed moving TWICE since the
+//     scan started has completed a full update within our interval, so its
+//     embedded snapshot is a valid result.
+//
+// Termination: at most n+1 double collects (each retry marks a new mover or
+// terminates). Segments live at their owners, so scanning needs every
+// segment in the caller's shared-memory domain — like §5, a complete GSM.
+//
+// Limitation: the seqlock makes a scanner wait out an in-progress write, so
+// unlike the original register-per-word construction this variant is not
+// crash-tolerant — a writer that crashes strictly inside update() (between
+// the odd and even seq writes) blocks later scans of its segment. All users
+// in this repository update outside crash windows; a crash-tolerant variant
+// would need multi-register atomic adoption (e.g. per-writer round buffers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/env.hpp"
+
+namespace mm::shm {
+
+class AtomicSnapshot {
+ public:
+  struct Entry {
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;  ///< completed updates of this segment
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// `n` must equal the system size; `tag` namespaces the registers.
+  AtomicSnapshot(std::uint8_t tag, std::size_t n) : tag_(tag), n_(n) {}
+
+  /// Install `value` in the caller's own segment.
+  void update(runtime::Env& env, std::uint64_t value);
+
+  /// Linearizable view of all segments.
+  [[nodiscard]] std::vector<Entry> scan(runtime::Env& env);
+
+ private:
+  struct Segment {
+    std::uint64_t seq = 0;  ///< raw seqlock word (odd = write in progress)
+    std::uint64_t value = 0;
+    std::vector<std::uint64_t> embedded;           ///< embedded snapshot values
+    std::vector<std::uint64_t> embedded_versions;  ///< their per-segment versions
+  };
+
+  /// Seqlock-consistent read of one segment (retries while a write runs).
+  [[nodiscard]] Segment collect_segment(runtime::Env& env, Pid owner);
+  [[nodiscard]] runtime::RegKey key(Pid owner, std::uint64_t slot) const;
+
+  std::uint8_t tag_;
+  std::size_t n_;
+  std::uint64_t my_seq_ = 0;  ///< writer-local seqlock counter
+};
+
+}  // namespace mm::shm

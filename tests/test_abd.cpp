@@ -1,0 +1,208 @@
+// Tests for the ABD message-passing atomic register: regularity/atomicity
+// observables, quorum behaviour under crashes, and cost accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/abd.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace mm::core {
+namespace {
+
+using runtime::Env;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+SimConfig net_only(std::size_t n, std::uint64_t seed) {
+  SimConfig sim;
+  sim.gsm = graph::edgeless(n);  // ABD is pure message passing
+  sim.seed = seed;
+  return sim;
+}
+
+TEST(Abd, WriteThenReadReturnsValue) {
+  SimRuntime rt{net_only(3, 1)};
+  std::optional<std::uint64_t> got;
+  rt.add_process([](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    ASSERT_TRUE(reg.write(env, 42));
+    // Keep serving so the reader can finish its phases.
+    while (!env.stop_requested()) reg.serve(env), env.step();
+  });
+  rt.add_process([&got](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    // Wait a while so the write (step-delayed messages) lands first... the
+    // read is still linearizable either way; for the assertion give the
+    // write time to reach a majority.
+    for (int i = 0; i < 2'000; ++i) {
+      reg.serve(env);
+      env.step();
+    }
+    got = reg.read(env);
+  });
+  rt.add_process([](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    while (!env.stop_requested()) reg.serve(env), env.step();
+  });
+  rt.run_steps(40'000);
+  rt.request_stop();
+  rt.run_until_all_done(200'000);
+  rt.rethrow_process_error();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42u);
+}
+
+TEST(Abd, ReaderSequencesAreMonotone) {
+  // Atomicity observable: with a single writer writing 1..k, every reader's
+  // successive reads are non-decreasing.
+  constexpr int kWrites = 30;
+  SimRuntime rt{net_only(5, 3)};
+  std::vector<std::vector<std::uint64_t>> seen(5);
+  rt.add_process([](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    for (std::uint64_t v = 1; v <= kWrites; ++v)
+      if (!reg.write(env, v)) return;
+    while (!env.stop_requested()) reg.serve(env), env.step();
+  });
+  for (std::uint32_t p = 1; p < 5; ++p) {
+    rt.add_process([&seen, p](Env& env) {
+      AbdRegister reg{{.writer = Pid{0}}};
+      while (!env.stop_requested()) {
+        const auto v = reg.read(env);
+        if (!v.has_value()) return;
+        seen[p].push_back(*v);
+        env.step();
+      }
+    });
+  }
+  rt.run_steps(120'000);
+  rt.request_stop();
+  rt.run_until_all_done(1'000'000);
+  rt.rethrow_process_error();
+  for (std::uint32_t p = 1; p < 5; ++p) {
+    ASSERT_GT(seen[p].size(), 3u) << "reader " << p << " made too few reads";
+    for (std::size_t i = 1; i < seen[p].size(); ++i)
+      EXPECT_GE(seen[p][i], seen[p][i - 1]) << "reader " << p << " regressed at " << i;
+  }
+}
+
+TEST(Abd, SurvivesMinorityCrashes) {
+  SimConfig sim = net_only(5, 5);
+  sim.crash_at.assign(5, std::nullopt);
+  sim.crash_at[3] = 0;
+  sim.crash_at[4] = 500;
+  SimRuntime rt{sim};
+  std::optional<std::uint64_t> got;
+  rt.add_process([](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    ASSERT_TRUE(reg.write(env, 7));
+    ASSERT_TRUE(reg.write(env, 8));
+    while (!env.stop_requested()) reg.serve(env), env.step();
+  });
+  rt.add_process([&got](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    for (int i = 0; i < 4'000; ++i) {
+      reg.serve(env);
+      env.step();
+    }
+    got = reg.read(env);
+  });
+  for (int p = 2; p < 5; ++p)
+    rt.add_process([](Env& env) {
+      AbdRegister reg{{.writer = Pid{0}}};
+      while (!env.stop_requested()) reg.serve(env), env.step();
+    });
+  rt.run_steps(60'000);
+  rt.request_stop();
+  rt.run_until_all_done(400'000);
+  rt.rethrow_process_error();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 8u);
+}
+
+TEST(Abd, BlocksWithoutMajority) {
+  // 3 of 5 crashed: no quorum, operations cannot complete (and don't lie).
+  SimConfig sim = net_only(5, 7);
+  sim.crash_at.assign(5, std::nullopt);
+  sim.crash_at[2] = sim.crash_at[3] = sim.crash_at[4] = Step{0};
+  SimRuntime rt{sim};
+  bool write_returned = false;
+  rt.add_process([&write_returned](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    write_returned = reg.write(env, 1);
+  });
+  rt.add_process([](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    while (!env.stop_requested()) reg.serve(env), env.step();
+  });
+  for (int p = 2; p < 5; ++p) rt.add_process([](Env&) {});
+  rt.run_steps(60'000);
+  rt.request_stop();
+  rt.run_until_all_done(200'000);
+  EXPECT_FALSE(write_returned);
+}
+
+TEST(Abd, TwoRegistersAreIndependent) {
+  SimRuntime rt{net_only(3, 9)};
+  std::optional<std::uint64_t> got_a, got_b;
+  rt.add_process([&](Env& env) {
+    AbdRegister a{{.writer = Pid{0}, .reg_id = 1}};
+    AbdRegister b{{.writer = Pid{0}, .reg_id = 2}};
+    a.join_group({&a, &b});
+    b.join_group({&a, &b});
+    ASSERT_TRUE(a.write(env, 100));
+    ASSERT_TRUE(b.write(env, 200));
+    got_a = a.read(env);
+    got_b = b.read(env);
+    while (!env.stop_requested()) {
+      a.serve(env);
+      env.step();
+    }
+  });
+  for (int p = 1; p < 3; ++p)
+    rt.add_process([](Env& env) {
+      AbdRegister a{{.writer = Pid{0}, .reg_id = 1}};
+      AbdRegister b{{.writer = Pid{0}, .reg_id = 2}};
+      a.join_group({&a, &b});
+      b.join_group({&a, &b});
+      while (!env.stop_requested()) {
+        a.serve(env);
+        env.step();
+      }
+    });
+  rt.run_steps(40'000);
+  rt.request_stop();
+  rt.run_until_all_done(200'000);
+  rt.rethrow_process_error();
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(*got_a, 100u);
+  EXPECT_EQ(*got_b, 200u);
+}
+
+TEST(Abd, CostAccounting) {
+  SimRuntime rt{net_only(4, 11)};
+  AbdRegister::Stats writer_stats;
+  rt.add_process([&writer_stats](Env& env) {
+    AbdRegister reg{{.writer = Pid{0}}};
+    ASSERT_TRUE(reg.write(env, 1));
+    writer_stats = reg.stats();
+  });
+  for (int p = 1; p < 4; ++p)
+    rt.add_process([](Env& env) {
+      AbdRegister reg{{.writer = Pid{0}}};
+      while (!env.stop_requested()) reg.serve(env), env.step();
+    });
+  rt.run_steps(40'000);
+  rt.request_stop();
+  rt.run_until_all_done(200'000);
+  rt.rethrow_process_error();
+  EXPECT_EQ(writer_stats.ops, 1u);
+  // One phase broadcast (n) plus any serve-side replies it sent.
+  EXPECT_GE(writer_stats.msgs_sent, 4u);
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,330 @@
+// End-to-end consensus tests: Ben-Or, HBO, and the shared-memory baseline,
+// under crash adversaries, worst-case crash sets, and both consensus-object
+// implementations. Safety (Agreement, Validity) is asserted on every run;
+// termination is asserted exactly where the theory promises it.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "core/trial.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+
+namespace mm::core {
+namespace {
+
+ConsensusTrialConfig base(graph::Graph g, Algo algo, std::uint64_t seed) {
+  ConsensusTrialConfig cfg;
+  cfg.gsm = std::move(g);
+  cfg.algo = algo;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_safe_and_live(const TerminationSweep& sweep, double min_rate = 1.0) {
+  EXPECT_EQ(sweep.safety_violations, 0u);
+  EXPECT_GE(sweep.termination_rate, min_rate);
+}
+
+// ---------------------------------------------------------------------------
+// Ben-Or baseline
+// ---------------------------------------------------------------------------
+
+TEST(BenOr, UnanimousInputDecidesThatValueFast) {
+  for (std::uint32_t v : {0u, 1u}) {
+    auto cfg = base(graph::edgeless(7), Algo::kBenOr, 100 + v);
+    cfg.crash_pick = CrashPick::kNone;
+    cfg.inputs = std::vector<std::uint32_t>(7, v);
+    const auto res = run_consensus_trial(cfg);
+    EXPECT_TRUE(res.all_correct_decided);
+    ASSERT_TRUE(res.decision.has_value());
+    EXPECT_EQ(*res.decision, v);
+    EXPECT_EQ(res.max_decided_round, 1u);  // unanimity decides in round 1
+  }
+}
+
+TEST(BenOr, MixedInputsManySeeds) {
+  auto cfg = base(graph::edgeless(6), Algo::kBenOr, 200);
+  cfg.crash_pick = CrashPick::kNone;
+  expect_safe_and_live(sweep_termination(cfg, 30));
+}
+
+TEST(BenOr, ToleratesMinorityCrashes) {
+  auto cfg = base(graph::edgeless(9), Algo::kBenOr, 300);
+  cfg.f = 4;  // ⌊(9−1)/2⌋
+  cfg.crash_pick = CrashPick::kRandom;
+  expect_safe_and_live(sweep_termination(cfg, 20));
+}
+
+TEST(BenOr, BlocksBeyondMajorityCrashes) {
+  // f = 5 > ⌊8/2⌋: quorum of n−4 = 5 unreachable with only 4 correct.
+  auto cfg = base(graph::edgeless(9), Algo::kBenOr, 400);
+  cfg.f = 5;
+  cfg.crash_window = 0;  // initially dead
+  cfg.budget = 60'000;
+  const auto sweep = sweep_termination(cfg, 5);
+  EXPECT_EQ(sweep.safety_violations, 0u);
+  EXPECT_EQ(sweep.termination_rate, 0.0);
+}
+
+TEST(BenOr, CrashTimingSweepStaysSafe) {
+  for (Step window : {Step{0}, Step{100}, Step{5'000}}) {
+    auto cfg = base(graph::edgeless(7), Algo::kBenOr, 500 + window);
+    cfg.f = 3;
+    cfg.crash_window = window;
+    const auto sweep = sweep_termination(cfg, 10);
+    EXPECT_EQ(sweep.safety_violations, 0u);
+    EXPECT_GE(sweep.termination_rate, 1.0) << "window " << window;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory baseline
+// ---------------------------------------------------------------------------
+
+TEST(SmConsensus, ToleratesAllButOneCrash) {
+  for (const auto impl : {shm::ConsensusImpl::kCas, shm::ConsensusImpl::kRw}) {
+    auto cfg = base(graph::complete(8), Algo::kSmConsensus, 600);
+    cfg.impl = impl;
+    cfg.f = 7;  // n−1 crashes
+    cfg.crash_pick = CrashPick::kRandom;
+    cfg.crash_window = 500;
+    expect_safe_and_live(sweep_termination(cfg, 15));
+  }
+}
+
+TEST(SmConsensus, RequiresCompleteGsm) {
+  // On a sparse graph the single shared object is not legally shared: the
+  // run must surface a ModelViolation, which the trial propagates.
+  auto cfg = base(graph::ring(6), Algo::kSmConsensus, 700);
+  cfg.crash_pick = CrashPick::kNone;
+  EXPECT_THROW((void)run_consensus_trial(cfg), ModelViolation);
+}
+
+// ---------------------------------------------------------------------------
+// HBO
+// ---------------------------------------------------------------------------
+
+TEST(Hbo, UnanimousInputDecidesThatValue) {
+  for (std::uint32_t v : {0u, 1u}) {
+    auto cfg = base(graph::chordal_ring(8), Algo::kHbo, 800 + v);
+    cfg.crash_pick = CrashPick::kNone;
+    cfg.inputs = std::vector<std::uint32_t>(8, v);
+    const auto res = run_consensus_trial(cfg);
+    EXPECT_TRUE(res.all_correct_decided);
+    ASSERT_TRUE(res.decision.has_value());
+    EXPECT_EQ(*res.decision, v);
+  }
+}
+
+struct HboTopologyParam {
+  const char* name;
+  std::size_t n;
+  int topology;  // 0 edgeless, 1 ring, 2 chordal, 3 complete, 4 random-regular
+  std::uint64_t seed;
+};
+
+graph::Graph make_topology(const HboTopologyParam& p) {
+  Rng rng{p.seed * 31 + 7};
+  switch (p.topology) {
+    case 0: return graph::edgeless(p.n);
+    case 1: return graph::ring(p.n);
+    case 2: return graph::chordal_ring(p.n);
+    case 3: return graph::complete(p.n);
+    default: return graph::random_regular_must(p.n, 3, rng);
+  }
+}
+
+class HboSafetySweep : public ::testing::TestWithParam<HboTopologyParam> {};
+
+TEST_P(HboSafetySweep, SafeAtExactToleranceWithWorstCaseCrashes) {
+  const auto& p = GetParam();
+  graph::Graph g = make_topology(p);
+  const std::size_t fstar = graph::hbo_f_exact(g);
+  auto cfg = base(std::move(g), Algo::kHbo, p.seed);
+  cfg.f = fstar;
+  cfg.crash_pick = CrashPick::kWorstCase;
+  cfg.crash_window = 0;
+  cfg.budget = 1'500'000;
+  expect_safe_and_live(sweep_termination(cfg, 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, HboSafetySweep,
+    ::testing::Values(HboTopologyParam{"edgeless", 8, 0, 1}, HboTopologyParam{"ring", 8, 1, 2},
+                      HboTopologyParam{"chordal", 10, 2, 3},
+                      HboTopologyParam{"complete", 8, 3, 4},
+                      HboTopologyParam{"rreg", 10, 4, 5}),
+    [](const auto& pinfo) { return std::string{pinfo.param.name}; });
+
+TEST(Hbo, BlocksJustAboveExactTolerance) {
+  graph::Graph g = graph::ring(10);
+  const std::size_t fstar = graph::hbo_f_exact(g);  // 6
+  auto cfg = base(std::move(g), Algo::kHbo, 900);
+  cfg.f = fstar + 1;
+  cfg.crash_pick = CrashPick::kWorstCase;
+  cfg.crash_window = 0;
+  cfg.budget = 80'000;
+  const auto sweep = sweep_termination(cfg, 4);
+  EXPECT_EQ(sweep.safety_violations, 0u);
+  EXPECT_EQ(sweep.termination_rate, 0.0);
+}
+
+TEST(Hbo, BeatsBenOrBoundOnExpander) {
+  // The headline: with a degree-3 expander, HBO tolerates more crashes than
+  // any pure message-passing algorithm (> ⌊(n−1)/2⌋).
+  Rng rng{42};
+  graph::Graph g = graph::random_regular_must(12, 3, rng);
+  const std::size_t fstar = graph::hbo_f_exact(g);
+  ASSERT_GT(fstar, (g.size() - 1) / 2) << g.summary();
+  auto cfg = base(std::move(g), Algo::kHbo, 1000);
+  cfg.f = fstar;
+  cfg.crash_pick = CrashPick::kWorstCase;
+  cfg.crash_window = 0;
+  cfg.budget = 2'000'000;
+  expect_safe_and_live(sweep_termination(cfg, 5));
+}
+
+TEST(Hbo, RandomCrashTimingStaysSafe) {
+  auto cfg = base(graph::chordal_ring(8), Algo::kHbo, 1100);
+  cfg.f = 4;
+  cfg.crash_pick = CrashPick::kRandom;
+  cfg.crash_window = 3'000;
+  const auto sweep = sweep_termination(cfg, 15);
+  EXPECT_EQ(sweep.safety_violations, 0u);
+  // Random crash sets of 4 on the chordal ring are usually survivable but
+  // the property under test is safety; termination may vary by set.
+}
+
+TEST(Hbo, RwConsensusObjectsWork) {
+  auto cfg = base(graph::chordal_ring(8), Algo::kHbo, 1200);
+  cfg.impl = shm::ConsensusImpl::kRw;
+  cfg.f = 3;
+  cfg.crash_pick = CrashPick::kRandom;
+  cfg.budget = 2'000'000;
+  expect_safe_and_live(sweep_termination(cfg, 8));
+}
+
+TEST(Hbo, PartitionPreventsDecisionButStaysSafe) {
+  // Theorem 4.4's adversary: barbell_path sides at distance 3, message
+  // traffic across the cut delayed past the horizon. With f crashes taking
+  // out the bridge, neither side can assemble a represented majority.
+  graph::Graph g = graph::barbell_path(4, 2);  // n = 10; cliques {0..3}, {6..9}
+  auto cfg = base(g, Algo::kHbo, 1300);
+  // Crash the SM-cut's border B = the bridge vertices {4, 5} at step 0, then
+  // delay all clique-to-clique messages past the horizon. Each side then
+  // represents at most 5 of 10 processes — never a strict majority.
+  cfg.crash_pick = CrashPick::kTargeted;
+  cfg.targeted_crash_mask = 0b0000110000;
+  cfg.crash_window = 0;
+  cfg.budget = 120'000;
+  cfg.partition = runtime::Partition{/*side_a=*/0b0000111111, /*from=*/0,
+                                     /*until=*/1'000'000'000};
+  // Give every process on side A input 0 and side B input 1: any decision
+  // would have to pick one, but neither side can reach the other.
+  cfg.inputs = std::vector<std::uint32_t>{0, 0, 0, 0, 0, 0, 1, 1, 1, 1};
+  const auto res = run_consensus_trial(cfg);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_TRUE(res.validity);
+  EXPECT_FALSE(res.all_correct_decided);  // no represented majority either side
+}
+
+TEST(Hbo, EdgelessMatchesBenOrTolerance) {
+  // HBO on an edgeless graph IS Ben-Or: tolerance caps at ⌈n/2⌉−1
+  // represented... i.e. > n/2 correct needed.
+  auto cfg = base(graph::edgeless(9), Algo::kHbo, 1400);
+  cfg.f = 4;
+  cfg.crash_pick = CrashPick::kWorstCase;
+  cfg.crash_window = 0;
+  cfg.budget = 1'500'000;
+  expect_safe_and_live(sweep_termination(cfg, 5));
+
+  cfg.f = 5;
+  cfg.seed = 1500;
+  cfg.budget = 60'000;
+  const auto blocked = sweep_termination(cfg, 3);
+  EXPECT_EQ(blocked.safety_violations, 0u);
+  EXPECT_EQ(blocked.termination_rate, 0.0);
+}
+
+TEST(Hbo, DecidedRoundRecorded) {
+  auto cfg = base(graph::complete(6), Algo::kHbo, 1600);
+  cfg.crash_pick = CrashPick::kNone;
+  cfg.inputs = std::vector<std::uint32_t>(6, 1);
+  const auto res = run_consensus_trial(cfg);
+  EXPECT_TRUE(res.all_correct_decided);
+  EXPECT_EQ(res.max_decided_round, 1u);
+}
+
+TEST(Hbo, MessageAndRegisterTrafficNonTrivial) {
+  auto cfg = base(graph::chordal_ring(8), Algo::kHbo, 1700);
+  cfg.crash_pick = CrashPick::kNone;
+  const auto res = run_consensus_trial(cfg);
+  EXPECT_TRUE(res.all_correct_decided);
+  EXPECT_GT(res.msgs_sent, 0u);
+  EXPECT_GT(res.reg_ops, 0u);  // consensus objects touched shared memory
+}
+
+// ---------------------------------------------------------------------------
+// Trial harness plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Trial, CrashSetHasRequestedSize) {
+  auto cfg = base(graph::complete(8), Algo::kHbo, 1800);
+  cfg.f = 3;
+  cfg.crash_pick = CrashPick::kRandom;
+  cfg.crash_window = 0;
+  const auto res = run_consensus_trial(cfg);
+  std::size_t crashed = 0;
+  for (bool c : res.crashed) crashed += c ? 1u : 0u;
+  EXPECT_EQ(crashed, 3u);
+}
+
+TEST(Trial, WorstCasePickMatchesWitness) {
+  graph::Graph g = graph::ring(10);
+  auto cfg = base(g, Algo::kHbo, 1900);
+  cfg.f = 6;
+  cfg.crash_pick = CrashPick::kWorstCase;
+  cfg.crash_window = 0;
+  cfg.budget = 1'000'000;
+  const auto res = run_consensus_trial(cfg);
+  // The surviving set must be a worst-case witness: |C ∪ δC| equals the
+  // exact minimum for 4 correct processes on a 10-ring, which is 6.
+  std::uint64_t correct_mask = 0;
+  for (std::size_t p = 0; p < res.crashed.size(); ++p)
+    if (!res.crashed[p]) correct_mask |= 1ULL << p;
+  const auto rep = static_cast<std::size_t>(
+      std::popcount(correct_mask | g.boundary_mask(correct_mask)));
+  EXPECT_EQ(rep, graph::min_represented_exact(g, 4).min_represented);
+}
+
+TEST(Trial, InputsHonored) {
+  auto cfg = base(graph::complete(4), Algo::kHbo, 2000);
+  cfg.crash_pick = CrashPick::kNone;
+  cfg.inputs = std::vector<std::uint32_t>{1, 1, 1, 1};
+  const auto res = run_consensus_trial(cfg);
+  ASSERT_TRUE(res.decision.has_value());
+  EXPECT_EQ(*res.decision, 1u);
+}
+
+TEST(Trial, SweepAdvancesSeeds) {
+  auto cfg = base(graph::edgeless(5), Algo::kBenOr, 2100);
+  cfg.crash_pick = CrashPick::kNone;
+  const auto sweep = sweep_termination(cfg, 12);
+  EXPECT_EQ(sweep.safety_violations, 0u);
+  EXPECT_EQ(sweep.termination_rate, 1.0);
+  EXPECT_GT(sweep.mean_steps, 0.0);
+}
+
+TEST(Trial, ToStringNames) {
+  EXPECT_STREQ(to_string(Algo::kHbo), "hbo");
+  EXPECT_STREQ(to_string(Algo::kBenOr), "ben-or");
+  EXPECT_STREQ(to_string(Algo::kSmConsensus), "sm");
+  EXPECT_STREQ(to_string(OmegaAlgo::kMnmReliable), "mnm-reliable");
+  EXPECT_STREQ(to_string(OmegaAlgo::kMnmFairLossy), "mnm-fairlossy");
+  EXPECT_STREQ(to_string(OmegaAlgo::kMessagePassing), "mp-heartbeat");
+}
+
+}  // namespace
+}  // namespace mm::core

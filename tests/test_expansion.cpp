@@ -1,0 +1,214 @@
+// Tests for vertex expansion, spectral bounds, and the Theorem 4.3 fault
+// tolerance predictions.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+
+namespace mm::graph {
+namespace {
+
+TEST(Expansion, CompleteGraphEvenN) {
+  // K_n: δS = V∖S for any S, so h = min over |S| ≤ n/2 of (n−|S|)/|S| = 1
+  // at |S| = n/2 (even n).
+  for (std::size_t n : {4u, 6u, 8u, 10u}) {
+    EXPECT_DOUBLE_EQ(vertex_expansion_exact(complete(n)).h, 1.0) << n;
+  }
+}
+
+TEST(Expansion, CompleteGraphOddN) {
+  // Odd n: minimum at |S| = (n−1)/2, ratio (n+1)/(n−1).
+  const auto r = vertex_expansion_exact(complete(7));
+  EXPECT_DOUBLE_EQ(r.h, 8.0 / 6.0);
+}
+
+TEST(Expansion, EdgelessIsZero) {
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(edgeless(6)).h, 0.0);
+}
+
+TEST(Expansion, RingArcIsWorstCase) {
+  // Ring: a contiguous arc of length n/2 has boundary 2 ⇒ h = 2/(n/2).
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(ring(10)).h, 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(ring(16)).h, 2.0 / 8.0);
+}
+
+TEST(Expansion, WitnessIsMinimizing) {
+  const Graph g = ring(12);
+  const auto r = vertex_expansion_exact(g);
+  const auto size = static_cast<double>(std::popcount(r.witness));
+  EXPECT_GT(size, 0.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(g.boundary_size(r.witness)) / size, r.h);
+}
+
+TEST(Expansion, StarGraph) {
+  // Star K_{1,n−1}: leaves-only S of size n/2 has boundary {center} ⇒
+  // h = 1/(n/2).
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(star(8)).h, 1.0 / 4.0);
+}
+
+TEST(Expansion, DisconnectedIsZero) {
+  Graph g{6};
+  g.add_edge(Pid{0}, Pid{1});
+  g.add_edge(Pid{2}, Pid{3});
+  g.add_edge(Pid{4}, Pid{5});
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(g).h, 0.0);
+}
+
+TEST(Expansion, MonotoneUnderEdgeAddition) {
+  // Adding edges can only grow boundaries, so h never decreases.
+  Rng rng{3};
+  Graph sparse = random_regular_must(12, 3, rng);
+  Graph denser = sparse;
+  denser.add_edge(Pid{0}, Pid{6});
+  denser.add_edge(Pid{1}, Pid{7});
+  EXPECT_GE(vertex_expansion_exact(denser).h, vertex_expansion_exact(sparse).h);
+}
+
+// ---------------------------------------------------------------------------
+// min_represented_exact — worst-case |C ∪ δC|
+// ---------------------------------------------------------------------------
+
+TEST(Representation, CompleteGraphRepresentsAll) {
+  const Graph g = complete(8);
+  for (std::size_t c = 1; c <= 8; ++c)
+    EXPECT_EQ(min_represented_exact(g, c).min_represented, 8u);
+}
+
+TEST(Representation, EdgelessRepresentsSelfOnly) {
+  const Graph g = edgeless(8);
+  for (std::size_t c = 1; c <= 8; ++c)
+    EXPECT_EQ(min_represented_exact(g, c).min_represented, c);
+}
+
+TEST(Representation, RingContiguousArcIsWorst) {
+  // Correct arc of c contiguous vertices represents c+2 (its two boundary
+  // neighbors), which is the minimum over all c-sets.
+  const Graph g = ring(10);
+  for (std::size_t c = 1; c <= 8; ++c)
+    EXPECT_EQ(min_represented_exact(g, c).min_represented, std::min<std::size_t>(c + 2, 10u));
+}
+
+TEST(Representation, WitnessAchievesMinimum) {
+  Rng rng{9};
+  const Graph g = random_regular_must(12, 3, rng);
+  const auto r = min_represented_exact(g, 5);
+  EXPECT_EQ(static_cast<std::size_t>(std::popcount(r.witness)), 5u);
+  EXPECT_EQ(static_cast<std::size_t>(std::popcount(r.witness | g.boundary_mask(r.witness))),
+            r.min_represented);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.3 bound + exact tolerance
+// ---------------------------------------------------------------------------
+
+TEST(FaultBound, StrictInequality) {
+  // h = 0 (pure message passing): f < n/2 exactly.
+  EXPECT_EQ(hbo_f_bound(10, 0.0), 4u);
+  EXPECT_EQ(hbo_f_bound(11, 0.0), 5u);
+  // h = 1: f < 3n/4.
+  EXPECT_EQ(hbo_f_bound(8, 1.0), 5u);
+  EXPECT_EQ(hbo_f_bound(16, 1.0), 11u);
+}
+
+TEST(FaultBound, GrowsWithExpansion) {
+  std::size_t prev = 0;
+  for (double h : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const std::size_t f = hbo_f_bound(20, h);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_EQ(prev, 17u);  // h=4 ⇒ f < 0.9·20 = 18
+}
+
+TEST(FaultBound, ExactToleranceComplete) {
+  // Complete graph: one survivor represents everyone ⇒ f* = n−1.
+  EXPECT_EQ(hbo_f_exact(complete(8)), 7u);
+  EXPECT_EQ(hbo_f_exact(complete(9)), 8u);
+}
+
+TEST(FaultBound, ExactToleranceEdgeless) {
+  // Edgeless: representation = correct set ⇒ f* = ⌈n/2⌉ − 1 (need > n/2).
+  EXPECT_EQ(hbo_f_exact(edgeless(10)), 4u);
+  EXPECT_EQ(hbo_f_exact(edgeless(11)), 5u);
+}
+
+TEST(FaultBound, ExactToleranceRing) {
+  // Ring of 10: correct arc of c represents c+2; need c+2 > 5 ⇒ c ≥ 4 ⇒ f* = 6.
+  EXPECT_EQ(hbo_f_exact(ring(10)), 6u);
+}
+
+class BoundVsExactTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundVsExactTest, TheoremBoundNeverExceedsExact) {
+  // Theorem 4.3 is a lower bound on the true tolerance: for every graph,
+  // hbo_f_bound(n, h(G)) ≤ hbo_f_exact(G).
+  Rng rng{GetParam()};
+  for (const auto& g :
+       {ring(10), chordal_ring(12), torus(3, 4), random_regular_must(12, 3, rng),
+        random_regular_must(14, 4, rng), star(9), complete(8), edgeless(9)}) {
+    const double h = vertex_expansion_exact(g).h;
+    EXPECT_LE(hbo_f_bound(g.size(), h), hbo_f_exact(g)) << g.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundVsExactTest, ::testing::Values(1u, 2u, 3u));
+
+// ---------------------------------------------------------------------------
+// Spectral bounds
+// ---------------------------------------------------------------------------
+
+TEST(Spectral, GapInUnitInterval) {
+  Rng rng{21};
+  for (const auto& g : {ring(12), complete(10), hypercube(4),
+                        random_regular_must(16, 4, rng)}) {
+    const double gap = lazy_walk_spectral_gap(g);
+    EXPECT_GE(gap, 0.0) << g.summary();
+    EXPECT_LE(gap, 1.0) << g.summary();
+  }
+}
+
+TEST(Spectral, DisconnectedGapZero) {
+  Graph g{4};
+  g.add_edge(Pid{0}, Pid{1});
+  g.add_edge(Pid{2}, Pid{3});
+  EXPECT_DOUBLE_EQ(lazy_walk_spectral_gap(g), 0.0);
+}
+
+TEST(Spectral, CompleteGraphGapKnown) {
+  // K_n walk matrix eigenvalues: 1 and −1/(n−1); lazy gap = (1 + 1/(n−1))/2.
+  const std::size_t n = 10;
+  const double expected = 0.5 * (1.0 + 1.0 / static_cast<double>(n - 1));
+  EXPECT_NEAR(lazy_walk_spectral_gap(complete(n)), expected, 1e-6);
+}
+
+TEST(Spectral, RingGapKnown) {
+  // Cycle C_n walk eigenvalues cos(2πk/n); lazy λ₂ = (1+cos(2π/n))/2.
+  const std::size_t n = 12;
+  const double lam2 = 0.5 * (1.0 + std::cos(2.0 * 3.14159265358979323846 / static_cast<double>(n)));
+  EXPECT_NEAR(lazy_walk_spectral_gap(ring(n)), 1.0 - lam2, 1e-6);
+}
+
+TEST(Spectral, LowerBoundsVertexExpansion) {
+  Rng rng{33};
+  for (const auto& g : {ring(10), chordal_ring(12), hypercube(3), complete(8),
+                        random_regular_must(14, 4, rng), torus(3, 4)}) {
+    const double bound = vertex_expansion_spectral_lower_bound(g);
+    const double exact = vertex_expansion_exact(g).h;
+    EXPECT_LE(bound, exact + 1e-9) << g.summary();
+  }
+}
+
+TEST(Spectral, ExpanderBeatsRing) {
+  // A random 4-regular graph has a much larger gap than the ring at equal n.
+  Rng rng{55};
+  const double ring_gap = lazy_walk_spectral_gap(ring(32));
+  const double expander_gap = lazy_walk_spectral_gap(random_regular_must(32, 4, rng));
+  EXPECT_GT(expander_gap, 2.0 * ring_gap);
+}
+
+}  // namespace
+}  // namespace mm::graph

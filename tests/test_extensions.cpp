@@ -1,0 +1,246 @@
+// Tests for later additions: the Gabber–Galil explicit expander, simulator
+// event tracing, and harder adversarial liveness scenarios (partition heal,
+// repeated leader crashes, fuzzed random-graph grids).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/omega.hpp"
+#include "core/tags.hpp"
+#include "core/trial.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace mm {
+namespace {
+
+using runtime::Env;
+using runtime::RegKey;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+// ---------------------------------------------------------------------------
+// Gabber–Galil expanders
+// ---------------------------------------------------------------------------
+
+TEST(GabberGalil, BasicShape) {
+  for (std::size_t m : {2u, 3u, 4u, 5u}) {
+    const graph::Graph g = graph::gabber_galil(m);
+    EXPECT_EQ(g.size(), m * m);
+    EXPECT_LE(g.max_degree(), 8u);
+    EXPECT_TRUE(g.connected()) << "m=" << m;
+  }
+}
+
+TEST(GabberGalil, DeterministicConstruction) {
+  const graph::Graph a = graph::gabber_galil(4);
+  const graph::Graph b = graph::gabber_galil(4);
+  for (std::uint32_t u = 0; u < 16; ++u)
+    for (std::uint32_t v = 0; v < 16; ++v)
+      EXPECT_EQ(a.has_edge(Pid{u}, Pid{v}), b.has_edge(Pid{u}, Pid{v}));
+}
+
+TEST(GabberGalil, ExpandsBetterThanRingAtEqualSize) {
+  const graph::Graph gg = graph::gabber_galil(4);  // n = 16
+  const graph::Graph r = graph::ring(16);
+  EXPECT_GT(graph::vertex_expansion_exact(gg).h, graph::vertex_expansion_exact(r).h);
+  EXPECT_GT(graph::lazy_walk_spectral_gap(gg), graph::lazy_walk_spectral_gap(r));
+}
+
+TEST(GabberGalil, ToleranceBeatsMajorityBound) {
+  const graph::Graph gg = graph::gabber_galil(4);
+  EXPECT_GT(graph::hbo_f_exact(gg), (gg.size() - 1) / 2);
+}
+
+TEST(GabberGalil, HboDecidesAtItsExactTolerance) {
+  const graph::Graph gg = graph::gabber_galil(3);  // n = 9
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = gg;
+  cfg.algo = core::Algo::kHbo;
+  cfg.f = graph::hbo_f_exact(gg);
+  cfg.crash_pick = core::CrashPick::kWorstCase;
+  cfg.crash_window = 0;
+  cfg.budget = 2'000'000;
+  cfg.seed = 77;
+  const auto sweep = core::sweep_termination(cfg, 5);
+  EXPECT_EQ(sweep.safety_violations, 0u);
+  EXPECT_EQ(sweep.termination_rate, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Event tracing
+// ---------------------------------------------------------------------------
+
+TEST(Trace, RecordsScheduleSendDeliverAndRegisterOps) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 1;
+  SimRuntime rt{cfg};
+  rt.enable_trace(1'000);
+  rt.add_process([](Env& env) {
+    runtime::Message m;
+    m.kind = 9;
+    env.send(Pid{1}, m);
+    env.write(env.reg(RegKey::make(core::kTagState, Pid{0})), 5);
+  });
+  rt.add_process([](Env& env) {
+    while (env.drain_inbox().empty()) env.step();
+  });
+  ASSERT_TRUE(rt.run_until_all_done(10'000));
+  using Kind = SimRuntime::TraceEvent::Kind;
+  std::set<Kind> kinds;
+  for (const auto& e : rt.trace()) kinds.insert(e.kind);
+  EXPECT_TRUE(kinds.count(Kind::kSchedule));
+  EXPECT_TRUE(kinds.count(Kind::kSend));
+  EXPECT_TRUE(kinds.count(Kind::kDeliver));
+  EXPECT_TRUE(kinds.count(Kind::kRegWrite));
+  const std::string dump = rt.dump_trace();
+  EXPECT_NE(dump.find("send"), std::string::npos);
+  EXPECT_NE(dump.find("write"), std::string::npos);
+}
+
+TEST(Trace, CapacityBoundsRetention) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  cfg.seed = 2;
+  SimRuntime rt{cfg};
+  rt.enable_trace(16);
+  rt.add_process([](Env& env) {
+    for (int i = 0; i < 200; ++i) env.step();
+  });
+  rt.run_until_all_done(10'000);
+  EXPECT_LE(rt.trace().size(), 16u);
+  // The retained events are the most recent ones.
+  EXPECT_GT(rt.trace().front().step, 100u);
+}
+
+TEST(Trace, DisabledByDefault) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  cfg.seed = 3;
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) { env.step(); });
+  rt.run_until_all_done(1'000);
+  EXPECT_TRUE(rt.trace().empty());
+}
+
+TEST(Trace, CrashRecorded) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 4;
+  cfg.crash_at = {std::optional<Step>{10}, std::nullopt};
+  SimRuntime rt{cfg};
+  rt.enable_trace(1'000);
+  for (int p = 0; p < 2; ++p)
+    rt.add_process([](Env& env) {
+      for (int i = 0; i < 100; ++i) env.step();
+    });
+  rt.run_until_all_done(10'000);
+  bool saw_crash = false;
+  for (const auto& e : rt.trace())
+    if (e.kind == SimRuntime::TraceEvent::Kind::kCrash && e.pid == Pid{0}) saw_crash = true;
+  EXPECT_TRUE(saw_crash);
+}
+
+// ---------------------------------------------------------------------------
+// Harder liveness scenarios
+// ---------------------------------------------------------------------------
+
+TEST(PartitionHeal, HboDecidesAfterPartitionHeals) {
+  // Reliable links may be arbitrarily slow but must deliver: partition the
+  // barbell for 40k steps with the bridge crashed (the E3 adversary), then
+  // heal. Decision must follow.
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = graph::barbell_path(4, 2);
+  cfg.algo = core::Algo::kHbo;
+  cfg.seed = 5;
+  cfg.crash_pick = core::CrashPick::kTargeted;
+  cfg.targeted_crash_mask = 0b0000110000;
+  cfg.crash_window = 0;
+  cfg.partition = runtime::Partition{0b0000111111, 0, 40'000};
+  cfg.budget = 2'000'000;
+  cfg.inputs = std::vector<std::uint32_t>{0, 0, 0, 0, 0, 0, 1, 1, 1, 1};
+  const auto res = core::run_consensus_trial(cfg);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_TRUE(res.validity);
+  EXPECT_TRUE(res.all_correct_decided);
+  EXPECT_GT(res.steps_used, 40'000u);  // couldn't have decided inside the window
+}
+
+TEST(OmegaStress, SurvivesRepeatedLeaderCrashes) {
+  const std::size_t n = 6;
+  SimConfig sim;
+  sim.gsm = graph::complete(n);
+  sim.seed = 6;
+  sim.timely = Pid{5};  // the last survivor is the timely one
+  runtime::SimRuntime rt{std::move(sim)};
+  std::vector<std::unique_ptr<core::OmegaMM>> nodes;
+  for (std::size_t p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<core::OmegaMM>(core::OmegaMM::Config{}));
+    rt.add_process([node = nodes.back().get()](Env& env) { node->run(env); });
+  }
+
+  auto agreed_leader = [&]() -> Pid {
+    Pid agreed = Pid::none();
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (rt.crashed(Pid{p})) continue;
+      const Pid l = nodes[p]->leader();
+      if (l.is_none() || rt.crashed(l)) return Pid::none();
+      if (agreed.is_none()) agreed = l;
+      if (l != agreed) return Pid::none();
+    }
+    return agreed;
+  };
+
+  // Crash four successive stable leaders; re-stabilization must follow each.
+  for (int wave = 0; wave < 4; ++wave) {
+    Pid leader = Pid::none();
+    for (int chunk = 0; chunk < 2'000 && leader.is_none(); ++chunk) {
+      rt.run_steps(1'000);
+      rt.rethrow_process_error();
+      leader = agreed_leader();
+    }
+    ASSERT_FALSE(leader.is_none()) << "no stable leader in wave " << wave;
+    ASSERT_NE(leader, Pid{5}) << "timely process should outlast the waves";
+    rt.crash_now(leader);
+  }
+  // Final stabilization after the fourth crash.
+  Pid final_leader = Pid::none();
+  for (int chunk = 0; chunk < 3'000 && final_leader.is_none(); ++chunk) {
+    rt.run_steps(1'000);
+    final_leader = agreed_leader();
+  }
+  rt.shutdown();
+  EXPECT_FALSE(final_leader.is_none());
+}
+
+class HboFuzzGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(HboFuzzGrid, RandomGraphRandomCrashesAlwaysSafe) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng{seed * 65537 + n * 31 + d};
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = graph::random_regular_must(n, d, rng);
+  cfg.algo = core::Algo::kHbo;
+  cfg.f = rng.below(n);  // anywhere from 0 to n−1 crashes
+  cfg.crash_pick = core::CrashPick::kRandom;
+  cfg.crash_window = rng.below(5'000);
+  cfg.budget = 250'000;  // liveness not asserted; safety always
+  cfg.seed = seed;
+  const auto res = core::run_consensus_trial(cfg);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_TRUE(res.validity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HboFuzzGrid,
+    ::testing::Combine(::testing::Values(std::size_t{8}, std::size_t{12}),
+                       ::testing::Values(std::size_t{3}, std::size_t{4}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3},
+                                         std::uint64_t{4}, std::uint64_t{5})));
+
+}  // namespace
+}  // namespace mm

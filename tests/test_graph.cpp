@@ -1,0 +1,204 @@
+// Unit tests for mm_graph: Graph, generators.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace mm::graph {
+namespace {
+
+TEST(Graph, EmptyAndBasics) {
+  Graph g{4};
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  g.add_edge(Pid{0}, Pid{1});
+  EXPECT_TRUE(g.has_edge(Pid{0}, Pid{1}));
+  EXPECT_TRUE(g.has_edge(Pid{1}, Pid{0}));
+  EXPECT_FALSE(g.has_edge(Pid{0}, Pid{2}));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, AddEdgeIdempotent) {
+  Graph g{3};
+  g.add_edge(Pid{0}, Pid{1});
+  g.add_edge(Pid{1}, Pid{0});
+  g.add_edge(Pid{0}, Pid{1});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(Pid{0}), 1u);
+}
+
+TEST(Graph, ClosedNeighborhoodSortedAndContainsSelf) {
+  Graph g{5};
+  g.add_edge(Pid{2}, Pid{4});
+  g.add_edge(Pid{2}, Pid{0});
+  const auto s = g.closed_neighborhood(Pid{2});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], Pid{0});
+  EXPECT_EQ(s[1], Pid{2});
+  EXPECT_EQ(s[2], Pid{4});
+}
+
+TEST(Graph, BoundaryMask) {
+  // Path 0-1-2-3: δ{0} = {1}, δ{1,2} = {0,3}, δ{0,1,2,3} = ∅.
+  const Graph g = path(4);
+  EXPECT_EQ(g.boundary_mask(0b0001), 0b0010u);
+  EXPECT_EQ(g.boundary_mask(0b0110), 0b1001u);
+  EXPECT_EQ(g.boundary_mask(0b1111), 0u);
+  EXPECT_EQ(g.boundary_size(0b0110), 2u);
+}
+
+TEST(Graph, BfsDistancesOnRing) {
+  const Graph g = ring(6);
+  const auto d = g.bfs_distances(Pid{0});
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 3u);
+  EXPECT_EQ(d[4], 2u);
+  EXPECT_EQ(d[5], 1u);
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(ring(5).connected());
+  EXPECT_TRUE(complete(3).connected());
+  EXPECT_FALSE(edgeless(2).connected());
+  Graph g{4};
+  g.add_edge(Pid{0}, Pid{1});
+  g.add_edge(Pid{2}, Pid{3});
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, Summary) {
+  EXPECT_EQ(ring(5).summary(), "n=5 m=5 deg=[2,2]");
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(Generators, Complete) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.min_degree(), 5u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Generators, RingDegrees) {
+  const Graph g = ring(7);
+  EXPECT_EQ(g.edge_count(), 7u);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, Star) {
+  const Graph g = star(6);
+  EXPECT_EQ(g.degree(Pid{0}), 5u);
+  for (std::uint32_t v = 1; v < 6; ++v) EXPECT_EQ(g.degree(Pid{v}), 1u);
+}
+
+TEST(Generators, TorusDegree4) {
+  const Graph g = torus(4, 5);
+  EXPECT_EQ(g.size(), 20u);
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, TorusTwoByTwo) {
+  // 2×2 wraparound collapses parallel edges: each vertex has 2 neighbors.
+  const Graph g = torus(2, 2);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.size(), 16u);
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(g.connected());
+  // Neighbors differ in exactly one bit.
+  for (std::uint32_t u = 0; u < 16; ++u)
+    for (Pid v : g.neighbors(Pid{u}))
+      EXPECT_EQ(std::popcount(u ^ v.value()), 1);
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = barbell(4);
+  EXPECT_EQ(g.size(), 8u);
+  // Two K4s (6 edges each) plus the bridge.
+  EXPECT_EQ(g.edge_count(), 13u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, BarbellPathDistance) {
+  const Graph g = barbell_path(3, 2);
+  EXPECT_EQ(g.size(), 8u);
+  EXPECT_TRUE(g.connected());
+  // Distance between clique interiors is ≥ 3 (the SM-cut precondition).
+  const auto d = g.bfs_distances(Pid{0});
+  EXPECT_GE(d[5], 3u);  // first vertex of clique B
+}
+
+TEST(Generators, ChordalRing) {
+  const Graph g = chordal_ring(8);
+  EXPECT_EQ(g.min_degree(), 3u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.has_edge(Pid{0}, Pid{4}));
+  EXPECT_TRUE(g.connected());
+}
+
+struct RegularParam {
+  std::size_t n;
+  std::size_t d;
+};
+
+class RandomRegularTest : public ::testing::TestWithParam<RegularParam> {};
+
+TEST_P(RandomRegularTest, ProducesSimpleRegularGraph) {
+  const auto [n, d] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(n * 1000 + d)};
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_regular_must(n, d, rng);
+    EXPECT_EQ(g.size(), n);
+    EXPECT_EQ(g.min_degree(), d);
+    EXPECT_EQ(g.max_degree(), d);
+    for (std::uint32_t u = 0; u < n; ++u)
+      EXPECT_FALSE(g.has_edge(Pid{u}, Pid{u}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, RandomRegularTest,
+                         ::testing::Values(RegularParam{8, 3}, RegularParam{10, 4},
+                                           RegularParam{16, 3}, RegularParam{16, 5},
+                                           RegularParam{20, 4}, RegularParam{32, 6},
+                                           RegularParam{64, 4}, RegularParam{100, 3}),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param.n) + "d" +
+                                  std::to_string(param_info.param.d);
+                         });
+
+TEST(Generators, RandomRegularZeroDegree) {
+  Rng rng{5};
+  const auto g = random_regular(6, 0, rng);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->edge_count(), 0u);
+}
+
+TEST(Generators, RandomRegularDeterministicForSeed) {
+  Rng a{77}, b{77};
+  const Graph g1 = random_regular_must(12, 3, a);
+  const Graph g2 = random_regular_must(12, 3, b);
+  for (std::uint32_t u = 0; u < 12; ++u)
+    for (std::uint32_t v = 0; v < 12; ++v)
+      EXPECT_EQ(g1.has_edge(Pid{u}, Pid{v}), g2.has_edge(Pid{u}, Pid{v}));
+}
+
+}  // namespace
+}  // namespace mm::graph

@@ -1,0 +1,230 @@
+// Tests for the §6 future-work extension: partial shared-memory failures.
+// Registers of a failed host throw MemoryFailure; algorithms degrade
+// gracefully — HBO stops representing the affected neighbors, Ω evicts
+// contenders it can no longer monitor.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hbo.hpp"
+#include "core/omega.hpp"
+#include "core/tags.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+
+namespace mm {
+namespace {
+
+using runtime::Env;
+using runtime::RegKey;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+TEST(MemoryFailureRuntime, AccessThrowsAfterFailStep) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 1;
+  cfg.memory_fail_at = {std::optional<Step>{50}, std::nullopt};
+  SimRuntime rt{cfg};
+  bool before_ok = false, after_threw = false;
+  rt.add_process([&](Env& env) {
+    const RegId r = env.reg(RegKey::make(core::kTagState, Pid{0}));
+    env.write(r, 7);
+    before_ok = env.read(r) == 7;
+    while (env.now() < 100) env.step();
+    try {
+      (void)env.read(r);
+    } catch (const MemoryFailure&) {
+      after_threw = true;
+    }
+  });
+  rt.add_process([](Env&) {});
+  rt.run_until_all_done(10'000);
+  rt.rethrow_process_error();
+  EXPECT_TRUE(before_ok);
+  EXPECT_TRUE(after_threw);
+}
+
+TEST(MemoryFailureRuntime, OtherHostsUnaffected) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(3);
+  cfg.seed = 2;
+  cfg.memory_fail_at = {std::optional<Step>{0}, std::nullopt, std::nullopt};
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) {
+    // Host 1's registers still work even though host 0's memory is gone.
+    const RegId r = env.reg(RegKey::make(core::kTagState, Pid{1}));
+    env.write(r, 9);
+    EXPECT_EQ(env.read(r), 9u);
+  });
+  rt.add_process([](Env&) {});
+  rt.add_process([](Env&) {});
+  rt.run_until_all_done(10'000);
+  rt.rethrow_process_error();
+}
+
+TEST(MemoryFailureRuntime, GlobalKeysNeverFail) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 3;
+  cfg.memory_fail_at = {std::optional<Step>{0}, std::optional<Step>{0}};
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) {
+    const RegId r = env.reg(RegKey::make_global(0x50, Pid{0}));
+    env.write(r, 1);
+    EXPECT_EQ(env.read(r), 1u);
+  });
+  rt.add_process([](Env&) {});
+  rt.run_until_all_done(10'000);
+  rt.rethrow_process_error();
+}
+
+TEST(MemoryFailureRuntime, ThreadRuntimeFailMemory) {
+  runtime::ThreadRuntime::Config cfg;
+  cfg.gsm = graph::complete(2);
+  runtime::ThreadRuntime rt{cfg};
+  std::atomic<bool> wrote{false};
+  std::atomic<bool> failed{false};
+  std::atomic<bool> threw{false};
+  rt.add_process([&](Env& env) {
+    const RegId r = env.reg(RegKey::make(core::kTagState, Pid{0}));
+    env.write(r, 5);
+    wrote.store(true);
+    while (!failed.load()) env.step();
+    try {
+      (void)env.read(r);
+    } catch (const MemoryFailure&) {
+      threw.store(true);
+    }
+  });
+  rt.add_process([](Env&) {});
+  rt.start();
+  while (!wrote.load()) std::this_thread::yield();
+  rt.fail_memory(Pid{0});
+  failed.store(true);
+  rt.join_all();
+  rt.rethrow_process_error();
+  EXPECT_TRUE(threw.load());
+}
+
+// ---------------------------------------------------------------------------
+// HBO under partial memory failure
+// ---------------------------------------------------------------------------
+
+struct HboMemRun {
+  bool agreement = true;
+  bool all_correct_decided = true;
+  std::optional<std::uint32_t> decision;
+};
+
+HboMemRun run_hbo_memfail(const graph::Graph& gsm, const std::vector<std::uint32_t>& inputs,
+                          const std::vector<std::optional<Step>>& mem_fail,
+                          std::uint64_t seed, Step budget = 4'000'000) {
+  const std::size_t n = gsm.size();
+  SimConfig sim;
+  sim.gsm = gsm;
+  sim.seed = seed;
+  sim.memory_fail_at = mem_fail;
+  SimRuntime rt{std::move(sim)};
+  std::vector<std::unique_ptr<core::HboConsensus>> algs;
+  for (std::size_t p = 0; p < n; ++p) {
+    core::HboConsensus::Config hc;
+    hc.gsm = &gsm;
+    algs.push_back(std::make_unique<core::HboConsensus>(hc, inputs[p]));
+    rt.add_process([alg = algs.back().get()](Env& env) { alg->run(env); });
+  }
+  rt.run_until_all_done(budget);
+  rt.shutdown();
+  rt.rethrow_process_error();
+
+  HboMemRun res;
+  for (std::size_t p = 0; p < n; ++p) {
+    const int d = algs[p]->decision();
+    if (d < 0) {
+      res.all_correct_decided = false;
+      continue;
+    }
+    if (res.decision.has_value() && *res.decision != static_cast<std::uint32_t>(d))
+      res.agreement = false;
+    if (!res.decision.has_value()) res.decision = static_cast<std::uint32_t>(d);
+  }
+  return res;
+}
+
+TEST(HboMemoryFailure, DecidesDespitePartialMemoryLoss) {
+  // No crashes, but two hosts lose their memory at step 0: everyone still
+  // participates in messages, and the remaining representation (all n via
+  // messages... each process still represents itself through surviving
+  // objects) keeps a majority.
+  const graph::Graph g = graph::complete(6);
+  std::vector<std::optional<Step>> mem(6);
+  mem[1] = mem[4] = Step{0};
+  const auto res =
+      run_hbo_memfail(g, std::vector<std::uint32_t>{0, 1, 0, 1, 0, 1}, mem, 3);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_TRUE(res.all_correct_decided);
+}
+
+TEST(HboMemoryFailure, MidRunFailuresStaySafe) {
+  Rng rng{5};
+  const graph::Graph g = graph::chordal_ring(8);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    std::vector<std::uint32_t> inputs;
+    for (int p = 0; p < 8; ++p) inputs.push_back(rng.coin() ? 1 : 0);
+    std::vector<std::optional<Step>> mem(8);
+    mem[rng.below(8)] = rng.between(0, 2'000);
+    mem[rng.below(8)] = rng.between(0, 2'000);
+    const auto res = run_hbo_memfail(g, inputs, mem, seed * 13);
+    EXPECT_TRUE(res.agreement) << "seed " << seed;
+  }
+}
+
+TEST(HboMemoryFailure, TotalMemoryLossDegradesToBenOr) {
+  // Every host's memory fails at step 0: HBO degenerates to message-only
+  // representation of... nothing — no process can even be represented, so
+  // no majority ever forms and the run must not decide. Safety still holds.
+  const graph::Graph g = graph::complete(4);
+  std::vector<std::optional<Step>> mem(4, Step{0});
+  const auto res = run_hbo_memfail(g, std::vector<std::uint32_t>{0, 1, 0, 1}, mem, 7,
+                                   /*budget=*/80'000);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_FALSE(res.all_correct_decided);
+}
+
+// ---------------------------------------------------------------------------
+// Ω under partial memory failure (message-notification variant)
+// ---------------------------------------------------------------------------
+
+TEST(OmegaMemoryFailure, ReelectsWhenLeadersMemoryDies) {
+  // p0 wins initially; its heartbeat registers then fail. Everyone must
+  // eventually agree on a different leader whose memory still works.
+  const std::size_t n = 4;
+  SimConfig sim;
+  sim.gsm = graph::complete(n);
+  sim.seed = 11;
+  sim.memory_fail_at.assign(n, std::nullopt);
+  sim.memory_fail_at[0] = 20'000;
+  SimRuntime rt{std::move(sim)};
+  std::vector<std::unique_ptr<core::OmegaMM>> nodes;
+  for (std::size_t p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<core::OmegaMM>(core::OmegaMM::Config{}));
+    rt.add_process([node = nodes.back().get()](Env& env) { node->run(env); });
+  }
+  bool converged = false;
+  for (int chunk = 0; chunk < 400 && !converged; ++chunk) {
+    rt.run_steps(2'000);
+    rt.rethrow_process_error();
+    if (rt.now() < 30'000) continue;
+    Pid agreed = nodes[0]->leader();
+    converged = !agreed.is_none() && agreed != Pid{0};
+    for (std::size_t p = 1; p < n && converged; ++p)
+      converged = nodes[p]->leader() == agreed;
+  }
+  rt.shutdown();
+  EXPECT_TRUE(converged) << "no post-memory-failure leader agreement";
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,250 @@
+// Tests for multivalued consensus (bit-by-bit over HBO) and the replicated
+// log built on it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/multi_consensus.hpp"
+#include "core/rsm.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace mm::core {
+namespace {
+
+using runtime::Env;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+struct MultiResult {
+  std::vector<std::optional<std::uint64_t>> decisions;
+  std::vector<bool> crashed;
+};
+
+MultiResult run_multi(const graph::Graph& gsm, const std::vector<std::uint64_t>& inputs,
+                      std::uint32_t bits, std::uint64_t seed,
+                      const std::vector<std::optional<Step>>& crash_at = {},
+                      Step budget = 6'000'000) {
+  const std::size_t n = gsm.size();
+  SimConfig sim;
+  sim.gsm = gsm;
+  sim.seed = seed;
+  sim.crash_at = crash_at;
+  SimRuntime rt{std::move(sim)};
+
+  std::vector<std::unique_ptr<MultiConsensus>> algs;
+  for (std::size_t p = 0; p < n; ++p) {
+    MultiConsensus::Config mc;
+    mc.gsm = &gsm;
+    mc.bits = bits;
+    algs.push_back(std::make_unique<MultiConsensus>(mc, inputs[p]));
+    rt.add_process([alg = algs.back().get()](Env& env) { alg->run(env); });
+  }
+  rt.run_until_all_done(budget);
+  rt.shutdown();
+  rt.rethrow_process_error();
+
+  MultiResult res;
+  for (std::size_t p = 0; p < n; ++p) {
+    res.decisions.push_back(algs[p]->decision());
+    res.crashed.push_back(rt.crashed(Pid{static_cast<std::uint32_t>(p)}));
+  }
+  return res;
+}
+
+void check_safety(const MultiResult& res, const std::vector<std::uint64_t>& inputs) {
+  std::optional<std::uint64_t> agreed;
+  const std::set<std::uint64_t> input_set{inputs.begin(), inputs.end()};
+  for (const auto& d : res.decisions) {
+    if (!d.has_value()) continue;
+    if (!agreed.has_value()) agreed = d;
+    EXPECT_EQ(*d, *agreed) << "agreement";
+    EXPECT_TRUE(input_set.count(*d)) << "validity: " << *d;
+  }
+}
+
+TEST(MultiConsensus, UnanimousDecidesThatValue) {
+  const graph::Graph g = graph::complete(4);
+  const std::vector<std::uint64_t> inputs(4, 0xBEEF);
+  const auto res = run_multi(g, inputs, 16, 5);
+  check_safety(res, inputs);
+  for (const auto& d : res.decisions) {
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 0xBEEFu);
+  }
+}
+
+TEST(MultiConsensus, DistinctValuesAgreeOnOne) {
+  const graph::Graph g = graph::chordal_ring(6);
+  const std::vector<std::uint64_t> inputs{10, 20, 30, 40, 50, 60};
+  const auto res = run_multi(g, inputs, 8, 7);
+  check_safety(res, inputs);
+  for (const auto& d : res.decisions) ASSERT_TRUE(d.has_value());
+}
+
+class MultiSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiSweep, RandomInputsManySeeds) {
+  Rng rng{GetParam() * 100003};
+  const graph::Graph g = graph::chordal_ring(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint64_t> inputs;
+    for (int p = 0; p < 6; ++p) inputs.push_back(rng.below(1 << 12));
+    const auto res = run_multi(g, inputs, 12, GetParam() * 17 + static_cast<std::uint64_t>(trial));
+    check_safety(res, inputs);
+    for (const auto& d : res.decisions) ASSERT_TRUE(d.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(MultiConsensus, SurvivesBeyondMajorityCrashes) {
+  // 4 of 6 crash at step 0 on a complete GSM: message passing alone could
+  // never decide; the multivalued layer inherits HBO's tolerance.
+  const graph::Graph g = graph::complete(6);
+  const std::vector<std::uint64_t> inputs{1, 2, 3, 4, 5, 6};
+  std::vector<std::optional<Step>> crash(6);
+  crash[1] = crash[2] = crash[4] = crash[5] = Step{0};
+  const auto res = run_multi(g, inputs, 8, 11, crash);
+  check_safety(res, inputs);
+  EXPECT_TRUE(res.decisions[0].has_value());
+  EXPECT_TRUE(res.decisions[3].has_value());
+}
+
+TEST(MultiConsensus, SixtyFourBitValues) {
+  const graph::Graph g = graph::complete(3);
+  const std::vector<std::uint64_t> inputs{~0ULL, 0ULL, 0x123456789ABCDEFULL};
+  const auto res = run_multi(g, inputs, 64, 13);
+  check_safety(res, inputs);
+  for (const auto& d : res.decisions) ASSERT_TRUE(d.has_value());
+}
+
+TEST(MultiConsensus, MidRunCrashesStaySafe) {
+  Rng rng{17};
+  const graph::Graph g = graph::chordal_ring(6);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    std::vector<std::uint64_t> inputs;
+    for (int p = 0; p < 6; ++p) inputs.push_back(rng.below(256));
+    std::vector<std::optional<Step>> crash(6);
+    crash[rng.below(6)] = rng.between(0, 3'000);
+    crash[rng.below(6)] = rng.between(0, 3'000);
+    const auto res = run_multi(g, inputs, 8, seed * 31, crash);
+    check_safety(res, inputs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replicated log
+// ---------------------------------------------------------------------------
+
+struct RsmRun {
+  std::vector<std::vector<std::uint64_t>> logs;  ///< per replica
+  std::vector<bool> crashed;
+};
+
+RsmRun run_rsm(const graph::Graph& gsm, std::size_t slots, std::uint64_t seed,
+               const std::vector<std::optional<Step>>& crash_at = {}) {
+  const std::size_t n = gsm.size();
+  SimConfig sim;
+  sim.gsm = gsm;
+  sim.seed = seed;
+  sim.crash_at = crash_at;
+  SimRuntime rt{std::move(sim)};
+
+  std::vector<std::unique_ptr<LogReplica>> replicas;
+  for (std::size_t p = 0; p < n; ++p) {
+    LogReplica::Config rc;
+    rc.gsm = &gsm;
+    rc.command_bits = 16;
+    rc.max_slots = 16;
+    replicas.push_back(std::make_unique<LogReplica>(rc));
+    rt.add_process([replica = replicas.back().get(), slots, p](Env& env) {
+      for (std::size_t s = 0; s < slots; ++s) {
+        // Command encoding: (replica id + 1) << 8 | slot.
+        const std::uint64_t cmd = ((p + 1) << 8) | s;
+        if (!replica->run_slot(env, cmd).has_value()) return;
+      }
+    });
+  }
+  rt.run_until_all_done(12'000'000);
+  rt.shutdown();
+  rt.rethrow_process_error();
+
+  RsmRun res;
+  for (std::size_t p = 0; p < n; ++p) {
+    res.logs.push_back(replicas[p]->log());
+    res.crashed.push_back(rt.crashed(Pid{static_cast<std::uint32_t>(p)}));
+  }
+  return res;
+}
+
+TEST(ReplicatedLog, AllReplicasAgreeOnEverySlot) {
+  const auto res = run_rsm(graph::complete(4), 6, 3);
+  ASSERT_EQ(res.logs[0].size(), 6u);
+  for (std::size_t p = 1; p < res.logs.size(); ++p) EXPECT_EQ(res.logs[p], res.logs[0]);
+}
+
+TEST(ReplicatedLog, EveryDecidedCommandWasProposed) {
+  const auto res = run_rsm(graph::chordal_ring(6), 4, 5);
+  for (std::size_t s = 0; s < res.logs[0].size(); ++s) {
+    const std::uint64_t cmd = res.logs[0][s];
+    const std::uint64_t proposer = (cmd >> 8) - 1;
+    const std::uint64_t slot = cmd & 0xff;
+    EXPECT_LT(proposer, 6u);
+    EXPECT_EQ(slot, s);  // proposers propose their own slot number
+  }
+}
+
+TEST(ReplicatedLog, PrefixAgreementUnderCrashes) {
+  // Crash two replicas mid-stream: surviving logs must agree; the crashed
+  // replicas' logs must be (equal-content) prefixes.
+  std::vector<std::optional<Step>> crash(6);
+  crash[1] = 40'000;
+  crash[4] = 80'000;
+  const auto res = run_rsm(graph::complete(6), 5, 7, crash);
+  const auto& reference = res.logs[0];
+  EXPECT_EQ(reference.size(), 5u);
+  for (std::size_t p = 0; p < res.logs.size(); ++p) {
+    ASSERT_LE(res.logs[p].size(), reference.size());
+    for (std::size_t s = 0; s < res.logs[p].size(); ++s)
+      EXPECT_EQ(res.logs[p][s], reference[s]) << "replica " << p << " slot " << s;
+  }
+}
+
+TEST(ReplicatedLog, ApplyCallbackRunsInOrder) {
+  const graph::Graph g = graph::complete(3);
+  SimConfig sim;
+  sim.gsm = g;
+  sim.seed = 9;
+  SimRuntime rt{std::move(sim)};
+  std::vector<std::vector<std::uint64_t>> applied(3);
+  std::vector<std::unique_ptr<LogReplica>> replicas;
+  for (std::size_t p = 0; p < 3; ++p) {
+    LogReplica::Config rc;
+    rc.gsm = &g;
+    rc.command_bits = 8;
+    rc.max_slots = 8;
+    rc.apply = [&applied, p](std::uint64_t slot, std::uint64_t cmd) {
+      EXPECT_EQ(slot, applied[p].size());
+      applied[p].push_back(cmd);
+    };
+    replicas.push_back(std::make_unique<LogReplica>(rc));
+    rt.add_process([replica = replicas.back().get(), p](Env& env) {
+      for (std::uint64_t s = 0; s < 3; ++s)
+        if (!replica->run_slot(env, (p + 1) * 10 + s).has_value()) return;
+    });
+  }
+  ASSERT_TRUE(rt.run_until_all_done(6'000'000));
+  rt.shutdown();
+  rt.rethrow_process_error();
+  EXPECT_EQ(applied[0].size(), 3u);
+  EXPECT_EQ(applied[0], applied[1]);
+  EXPECT_EQ(applied[1], applied[2]);
+}
+
+}  // namespace
+}  // namespace mm::core

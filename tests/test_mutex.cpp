@@ -1,0 +1,161 @@
+// Mutual-exclusion tests (§1 motivation): safety of both locks and the
+// spin-vs-wakeup cost contrast the m&m model is sold on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/mutex.hpp"
+#include "core/tags.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+
+namespace mm::core {
+namespace {
+
+using runtime::Env;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+/// Drive `contenders` processes through `rounds` critical sections each,
+/// checking mutual exclusion with an occupancy counter. Returns aggregate
+/// stats per process.
+template <typename Lock, typename Unlock>
+std::vector<MutexStats> drive_sim(std::size_t contenders, int rounds, std::uint64_t seed,
+                                  Lock&& lock_fn, Unlock&& unlock_fn, bool& violation) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(contenders);
+  cfg.seed = seed;
+  SimRuntime rt{cfg};
+  std::vector<MutexStats> stats(contenders);
+  std::atomic<int> in_cs{0};
+  violation = false;
+  for (std::uint32_t p = 0; p < contenders; ++p) {
+    rt.add_process([&, p](Env& env) {
+      for (int r = 0; r < rounds; ++r) {
+        lock_fn(env, stats[p]);
+        if (env.stop_requested()) return;
+        if (in_cs.fetch_add(1) != 0) violation = true;
+        for (int w = 0; w < 3; ++w) env.step();  // hold the lock a while
+        in_cs.fetch_sub(1);
+        unlock_fn(env, stats[p]);
+        env.step();
+      }
+    });
+  }
+  EXPECT_TRUE(rt.run_until_all_done(5'000'000));
+  rt.shutdown();
+  rt.rethrow_process_error();
+  return stats;
+}
+
+TEST(SpinMutex, MutualExclusionUnderContention) {
+  SpinMutex mtx;
+  bool violation = true;
+  const auto stats = drive_sim(
+      4, 25, 3, [&](Env& env, MutexStats& s) { mtx.lock(env, s); },
+      [&](Env& env, MutexStats&) { mtx.unlock(env); }, violation);
+  EXPECT_FALSE(violation);
+  std::uint64_t total_acq = 0;
+  for (const auto& s : stats) total_acq += s.acquisitions;
+  EXPECT_EQ(total_acq, 100u);
+}
+
+TEST(MnmMutex, MutualExclusionUnderContention) {
+  MnmMutex mtx;
+  bool violation = true;
+  const auto stats = drive_sim(
+      4, 25, 5, [&](Env& env, MutexStats& s) { mtx.lock(env, s); },
+      [&](Env& env, MutexStats& s) { mtx.unlock(env, s); }, violation);
+  EXPECT_FALSE(violation);
+  std::uint64_t total_acq = 0;
+  for (const auto& s : stats) total_acq += s.acquisitions;
+  EXPECT_EQ(total_acq, 100u);
+}
+
+TEST(Mutex, MnmAvoidsSpinReads) {
+  // The paper's §1 point: waiters under the m&m lock do not spin on shared
+  // memory; waiters under the SM lock do.
+  SpinMutex spin;
+  MnmMutex mnm;
+  bool violation = false;
+
+  const auto spin_stats = drive_sim(
+      6, 20, 7, [&](Env& env, MutexStats& s) { spin.lock(env, s); },
+      [&](Env& env, MutexStats&) { spin.unlock(env); }, violation);
+  EXPECT_FALSE(violation);
+  const auto mnm_stats = drive_sim(
+      6, 20, 7, [&](Env& env, MutexStats& s) { mnm.lock(env, s); },
+      [&](Env& env, MutexStats& s) { mnm.unlock(env, s); }, violation);
+  EXPECT_FALSE(violation);
+
+  std::uint64_t spin_reads = 0, mnm_reads = 0, mnm_wakeups = 0;
+  for (const auto& s : spin_stats) spin_reads += s.spin_reads;
+  for (const auto& s : mnm_stats) {
+    mnm_reads += s.spin_reads;
+    mnm_wakeups += s.wakeup_messages;
+  }
+  EXPECT_GT(spin_reads, 100u);   // heavy shared-memory spinning
+  EXPECT_EQ(mnm_reads, 0u);      // sleepers never touch shared memory
+  EXPECT_GT(mnm_wakeups, 0u);    // handoffs happen by message instead
+}
+
+TEST(Mutex, UncontendedFastPath) {
+  // A single process acquires with no waiting cost on either lock.
+  for (int which = 0; which < 2; ++which) {
+    SimConfig cfg;
+    cfg.gsm = graph::complete(1);
+    cfg.seed = 11;
+    SimRuntime rt{cfg};
+    MutexStats stats;
+    rt.add_process([&, which](Env& env) {
+      SpinMutex spin;
+      MnmMutex mnm;
+      for (int r = 0; r < 10; ++r) {
+        if (which == 0) {
+          spin.lock(env, stats);
+          spin.unlock(env);
+        } else {
+          mnm.lock(env, stats);
+          mnm.unlock(env, stats);
+        }
+      }
+    });
+    ASSERT_TRUE(rt.run_until_all_done(100'000));
+    rt.rethrow_process_error();
+    EXPECT_EQ(stats.acquisitions, 10u);
+    EXPECT_EQ(stats.spin_reads, 0u);
+    EXPECT_EQ(stats.wait_steps, 0u);
+  }
+}
+
+TEST(Mutex, ThreadRuntimeMutualExclusion) {
+  // Same locks under real concurrency.
+  runtime::ThreadRuntime::Config cfg;
+  cfg.gsm = graph::complete(4);
+  cfg.seed = 13;
+  runtime::ThreadRuntime rt{cfg};
+  MnmMutex mtx;
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::vector<MutexStats> stats(4);
+  for (std::uint32_t p = 0; p < 4; ++p)
+    rt.add_process([&, p](Env& env) {
+      for (int r = 0; r < 50; ++r) {
+        mtx.lock(env, stats[p]);
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        mtx.unlock(env, stats[p]);
+      }
+    });
+  rt.start();
+  rt.join_all();
+  rt.rethrow_process_error();
+  EXPECT_FALSE(violation.load());
+  std::uint64_t total = 0;
+  for (const auto& s : stats) total += s.acquisitions;
+  EXPECT_EQ(total, 200u);
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,159 @@
+// Leader-election tests: stabilization, failover, the Theorem 5.1/5.2
+// steady-state operation profile, fair-lossy robustness, and the
+// message-passing baseline.
+#include <gtest/gtest.h>
+
+#include "core/trial.hpp"
+
+namespace mm::core {
+namespace {
+
+OmegaTrialConfig base(std::size_t n, OmegaAlgo algo, std::uint64_t seed) {
+  OmegaTrialConfig cfg;
+  cfg.n = n;
+  cfg.algo = algo;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class OmegaStabilizeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, std::uint64_t>> {};
+
+TEST_P(OmegaStabilizeSweep, AllCorrectAgreeOnLeader) {
+  const auto [n, algo_idx, seed] = GetParam();
+  const auto algo = static_cast<OmegaAlgo>(algo_idx);
+  auto cfg = base(n, algo, seed);
+  const auto res = run_omega_trial(cfg);
+  EXPECT_TRUE(res.stabilized);
+  EXPECT_FALSE(res.final_leader.is_none());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OmegaStabilizeSweep,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{4}, std::size_t{8}),
+                       ::testing::Values(0, 1, 2),  // reliable, fair-lossy, mp
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2})));
+
+TEST(OmegaMnm, SteadyStateMatchesTheorem51) {
+  // Reliable links: eventually NO messages; the leader only writes one
+  // register; non-leaders only read.
+  auto cfg = base(6, OmegaAlgo::kMnmReliable, 11);
+  const auto res = run_omega_trial(cfg);
+  ASSERT_TRUE(res.stabilized);
+  EXPECT_EQ(res.steady_msgs_per_1k, 0.0);
+  EXPECT_GT(res.leader_writes_per_1k, 0.0);
+  EXPECT_EQ(res.others_writes_per_1k, 0.0);
+  EXPECT_GT(res.others_reads_per_1k, 0.0);
+}
+
+TEST(OmegaMnm, SteadyStateMatchesTheorem52) {
+  // Fair-lossy links: same as 5.1, plus the leader periodically reads its
+  // notifications register.
+  auto cfg = base(6, OmegaAlgo::kMnmFairLossy, 12);
+  cfg.drop_prob = 0.3;
+  const auto res = run_omega_trial(cfg);
+  ASSERT_TRUE(res.stabilized);
+  EXPECT_EQ(res.steady_msgs_per_1k, 0.0);
+  EXPECT_GT(res.leader_writes_per_1k, 0.0);
+  EXPECT_GT(res.leader_reads_per_1k, 0.0);
+  EXPECT_EQ(res.others_writes_per_1k, 0.0);
+}
+
+TEST(OmegaMnm, ReliableLeaderNeverReadsInSteadyState) {
+  // With the message mechanism the stable leader does no shared-memory
+  // reads at all (Theorem 5.1's "only access ... is a write").
+  auto cfg = base(5, OmegaAlgo::kMnmReliable, 13);
+  const auto res = run_omega_trial(cfg);
+  ASSERT_TRUE(res.stabilized);
+  EXPECT_EQ(res.leader_reads_per_1k, 0.0);
+}
+
+class OmegaDropSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OmegaDropSweep, FairLossyStabilizesUnderHeavyLoss) {
+  auto cfg = base(5, OmegaAlgo::kMnmFairLossy, 17);
+  cfg.drop_prob = GetParam();
+  cfg.budget = 1'200'000;
+  const auto res = run_omega_trial(cfg);
+  EXPECT_TRUE(res.stabilized) << "drop " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, OmegaDropSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(OmegaMnm, FailoverAfterLeaderCrash) {
+  auto cfg = base(6, OmegaAlgo::kMnmReliable, 19);
+  cfg.timely = Pid{1};  // keep the timely process distinct from the victim
+  cfg.crash_leader_at = 40'000;
+  cfg.budget = 1'500'000;
+  const auto res = run_omega_trial(cfg);
+  ASSERT_TRUE(res.stabilized);
+  EXPECT_GT(res.failover_step, 0u);
+  // The new leader is a live process.
+  EXPECT_FALSE(res.final_leader.is_none());
+}
+
+TEST(OmegaMnm, FailoverFairLossy) {
+  auto cfg = base(5, OmegaAlgo::kMnmFairLossy, 23);
+  cfg.drop_prob = 0.4;
+  cfg.timely = Pid{1};
+  cfg.crash_leader_at = 40'000;
+  cfg.budget = 2'000'000;
+  const auto res = run_omega_trial(cfg);
+  EXPECT_TRUE(res.stabilized);
+}
+
+TEST(OmegaMnm, StabilizesWithOnlyOneTimelyProcess) {
+  // §5's synchrony claim: only ONE process needs to be timely. Every other
+  // process runs with tiny scheduling weight (arbitrarily slow, but still
+  // correct); links are asynchronous (wide delay range).
+  auto cfg = base(4, OmegaAlgo::kMnmReliable, 29);
+  cfg.timely = Pid{2};
+  cfg.slow_weight = 0.05;
+  cfg.min_delay = 1;
+  cfg.max_delay = 400;  // wildly variable message delays
+  cfg.budget = 2'500'000;
+  cfg.check_every = 2'000;
+  const auto res = run_omega_trial(cfg);
+  EXPECT_TRUE(res.stabilized);
+}
+
+TEST(OmegaMp, NeedsTimelyMessagesStabilizesWhenDelaysSmall) {
+  auto cfg = base(5, OmegaAlgo::kMessagePassing, 31);
+  cfg.min_delay = 1;
+  cfg.max_delay = 4;
+  const auto res = run_omega_trial(cfg);
+  EXPECT_TRUE(res.stabilized);
+  // The MP baseline keeps broadcasting heartbeats forever.
+  EXPECT_GT(res.steady_msgs_per_1k, 0.0);
+}
+
+TEST(OmegaMp, SteadyStateMessageCostScalesWithN) {
+  double prev = 0.0;
+  for (std::size_t n : {3u, 6u, 12u}) {
+    auto cfg = base(n, OmegaAlgo::kMessagePassing, 37);
+    const auto res = run_omega_trial(cfg);
+    ASSERT_TRUE(res.stabilized);
+    EXPECT_GT(res.steady_msgs_per_1k, prev);
+    prev = res.steady_msgs_per_1k;
+  }
+}
+
+TEST(OmegaMnm, TwoProcessesElectOne) {
+  auto cfg = base(2, OmegaAlgo::kMnmReliable, 41);
+  const auto res = run_omega_trial(cfg);
+  ASSERT_TRUE(res.stabilized);
+  EXPECT_LT(res.final_leader.index(), 2u);
+}
+
+TEST(OmegaMnm, LowerBoundLeaderKeepsWriting) {
+  // Theorem 5.3's observable: in steady state the leader's write rate is
+  // strictly positive forever (we sample two disjoint windows).
+  auto cfg = base(4, OmegaAlgo::kMnmReliable, 43);
+  const auto res = run_omega_trial(cfg);
+  ASSERT_TRUE(res.stabilized);
+  EXPECT_GT(res.leader_writes_per_1k, 0.5);  // ~1 write per loop iteration
+}
+
+}  // namespace
+}  // namespace mm::core

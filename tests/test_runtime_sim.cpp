@@ -1,0 +1,475 @@
+// Tests for the deterministic simulator: scheduling, determinism, message
+// delivery semantics, link models, partitions, crashes, timeliness, register
+// access control, and metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tags.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace mm::runtime {
+namespace {
+
+SimConfig base_config(std::size_t n, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(n);
+  cfg.seed = seed;
+  return cfg;
+}
+
+RegKey key_of(Pid owner, std::uint64_t round = 0, std::uint8_t slot = 0) {
+  return RegKey::make(core::kTagState, owner, round, slot);
+}
+
+TEST(SimRuntime, ProcessesRunAndFinish) {
+  SimRuntime rt{base_config(3)};
+  std::vector<int> ran(3, 0);
+  for (std::uint32_t p = 0; p < 3; ++p)
+    rt.add_process([&ran, p](Env& env) {
+      ran[p] = 1;
+      env.step();
+    });
+  EXPECT_TRUE(rt.run_until_all_done(10'000));
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_TRUE(rt.finished(Pid{p}));
+    EXPECT_EQ(ran[p], 1);
+  }
+}
+
+TEST(SimRuntime, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    SimRuntime rt{base_config(4, seed)};
+    std::vector<std::uint64_t> sums(4, 0);
+    for (std::uint32_t p = 0; p < 4; ++p)
+      rt.add_process([&sums, p](Env& env) {
+        for (int i = 0; i < 50; ++i) {
+          sums[p] = sums[p] * 3 + (env.coin() ? 1 : 0) + env.now();
+          Message m;
+          m.kind = 1;
+          m.value = sums[p];
+          env.send(Pid{(p + 1) % 4}, m);
+          for (const auto& r : env.drain_inbox()) sums[p] ^= r.value;
+          env.step();
+        }
+      });
+    rt.run_until_all_done(100'000);
+    return std::pair{sums, rt.metrics().msgs_delivered};
+  };
+  const auto a = run_once(99);
+  const auto b = run_once(99);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run_once(100);
+  EXPECT_NE(a.first, c.first);  // different seed ⇒ different schedule
+}
+
+TEST(SimRuntime, ReliableLinksDeliverEverything) {
+  SimConfig cfg = base_config(2);
+  SimRuntime rt{cfg};
+  constexpr int kMsgs = 100;
+  int received = 0;
+  rt.add_process([](Env& env) {
+    for (int i = 0; i < kMsgs; ++i) {
+      Message m;
+      m.kind = 1;
+      m.round = static_cast<std::uint64_t>(i);
+      env.send(Pid{1}, m);
+      env.step();
+    }
+  });
+  rt.add_process([&received](Env& env) {
+    while (received < kMsgs) {
+      received += static_cast<int>(env.drain_inbox().size());
+      if (env.stop_requested()) return;
+      env.step();
+    }
+  });
+  EXPECT_TRUE(rt.run_until_all_done(100'000));
+  EXPECT_EQ(received, kMsgs);
+  EXPECT_EQ(rt.metrics().msgs_dropped, 0u);
+  EXPECT_EQ(rt.metrics().msgs_sent, static_cast<std::uint64_t>(kMsgs));
+}
+
+TEST(SimRuntime, FairLossyDropsAtConfiguredRate) {
+  SimConfig cfg = base_config(2, 5);
+  cfg.link_type = LinkType::kFairLossy;
+  cfg.drop_prob = 0.5;
+  SimRuntime rt{cfg};
+  constexpr int kMsgs = 2000;
+  rt.add_process([](Env& env) {
+    for (int i = 0; i < kMsgs; ++i) {
+      Message m;
+      m.kind = 1;
+      env.send(Pid{1}, m);
+      env.step();
+    }
+  });
+  rt.add_process([](Env& env) {
+    while (!env.stop_requested()) {
+      (void)env.drain_inbox();
+      env.step();
+    }
+  });
+  rt.run_steps(20'000);
+  rt.request_stop();
+  rt.run_until_all_done(200'000);
+  const double drop_rate =
+      static_cast<double>(rt.metrics().msgs_dropped) / static_cast<double>(kMsgs);
+  EXPECT_NEAR(drop_rate, 0.5, 0.06);
+}
+
+TEST(SimRuntime, MessageDelayWithinBounds) {
+  SimConfig cfg = base_config(2, 6);
+  cfg.min_delay = 3;
+  cfg.max_delay = 7;
+  SimRuntime rt{cfg};
+  Step sent_at = 0;
+  Step received_at = 0;
+  rt.add_process([&sent_at](Env& env) {
+    env.step();  // let the clock move a little
+    sent_at = env.now();
+    Message m;
+    m.kind = 1;
+    env.send(Pid{1}, m);
+  });
+  rt.add_process([&received_at](Env& env) {
+    for (;;) {
+      if (!env.drain_inbox().empty()) {
+        received_at = env.now();
+        return;
+      }
+      env.step();
+    }
+  });
+  EXPECT_TRUE(rt.run_until_all_done(10'000));
+  EXPECT_GE(received_at, sent_at + 3);
+}
+
+TEST(SimRuntime, CrashedProcessTakesNoSteps) {
+  SimConfig cfg = base_config(2, 7);
+  cfg.crash_at = {std::optional<Step>{50}, std::nullopt};
+  SimRuntime rt{cfg};
+  std::uint64_t p0_steps = 0;
+  rt.add_process([&p0_steps](Env& env) {
+    for (;;) {
+      ++p0_steps;
+      env.step();
+    }
+  });
+  rt.add_process([](Env& env) {
+    for (int i = 0; i < 500; ++i) env.step();
+  });
+  rt.run_until_all_done(5'000);
+  EXPECT_TRUE(rt.crashed(Pid{0}));
+  EXPECT_TRUE(rt.finished(Pid{1}));
+  EXPECT_LE(p0_steps, 51u);
+  // Metrics agree with the observed count.
+  EXPECT_EQ(rt.metrics().steps_by_proc[0], p0_steps);
+}
+
+TEST(SimRuntime, CrashNowStopsScheduling) {
+  SimRuntime rt{base_config(2, 8)};
+  std::uint64_t steps = 0;
+  rt.add_process([&steps](Env& env) {
+    for (;;) {
+      ++steps;
+      env.step();
+    }
+  });
+  rt.add_process([](Env& env) {
+    for (int i = 0; i < 100; ++i) env.step();
+  });
+  rt.run_steps(20);
+  rt.crash_now(Pid{0});
+  const auto before = steps;
+  rt.run_steps(500);
+  EXPECT_EQ(steps, before);
+  EXPECT_TRUE(rt.crashed(Pid{0}));
+}
+
+TEST(SimRuntime, RegistersSurviveCrash) {
+  // RDMA semantics (§3): a crashed process's registers stay readable.
+  SimConfig cfg = base_config(2, 9);
+  SimRuntime rt{cfg};
+  std::uint64_t observed = 0;
+  rt.add_process([](Env& env) {
+    env.write(env.reg(key_of(Pid{0})), 777);
+    env.step();
+  });
+  rt.add_process([&observed](Env& env) {
+    while (observed == 0) {
+      observed = env.read(env.reg(key_of(Pid{0})));
+      env.step();
+    }
+  });
+  rt.run_steps(10);
+  rt.crash_now(Pid{0});
+  rt.run_until_all_done(10'000);
+  EXPECT_EQ(observed, 777u);
+}
+
+TEST(SimRuntime, AccessControlRejectsNonNeighbor) {
+  SimConfig cfg;
+  cfg.gsm = graph::path(3);  // 0-1-2: processes 0 and 2 are not adjacent
+  cfg.seed = 10;
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) { env.step(); });
+  rt.add_process([](Env& env) { env.step(); });
+  rt.add_process([](Env& env) {
+    // p2 touches a register owned by p0: outside S_{p0} = {0, 1}.
+    (void)env.read(env.reg(key_of(Pid{0})));
+  });
+  rt.run_until_all_done(10'000);
+  EXPECT_THROW(rt.rethrow_process_error(), ModelViolation);
+}
+
+TEST(SimRuntime, AccessControlAllowsNeighborhood) {
+  SimConfig cfg;
+  cfg.gsm = graph::path(3);
+  cfg.seed = 11;
+  SimRuntime rt{cfg};
+  for (std::uint32_t p = 0; p < 3; ++p)
+    rt.add_process([](Env& env) {
+      // Everyone may access p1's registers: S_{p1} = {0, 1, 2}.
+      env.write(env.reg(key_of(Pid{1}, env.self().value())), 1);
+    });
+  rt.run_until_all_done(10'000);
+  rt.rethrow_process_error();  // must not throw
+  EXPECT_TRUE(rt.all_done());
+}
+
+TEST(SimRuntime, GlobalKeysBypassDomain) {
+  SimConfig cfg;
+  cfg.gsm = graph::edgeless(2);
+  cfg.seed = 12;
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) {
+    env.write(env.reg(RegKey::make_global(70, Pid{1})), 5);
+  });
+  rt.add_process([](Env& env) { env.step(); });
+  rt.run_until_all_done(1'000);
+  rt.rethrow_process_error();
+}
+
+TEST(SimRuntime, TimelyProcessIsScheduledWithinBound) {
+  SimConfig cfg = base_config(4, 13);
+  cfg.timely = Pid{2};
+  cfg.timely_bound = 10;
+  // Starve p2 as hard as weights allow.
+  cfg.sched_weight = {1.0, 1.0, 0.0, 1.0};
+  SimRuntime rt{cfg};
+  std::vector<Step> p2_steps;
+  for (std::uint32_t p = 0; p < 4; ++p)
+    rt.add_process([&p2_steps, p](Env& env) {
+      for (int i = 0; i < 2000; ++i) {
+        if (p == 2) p2_steps.push_back(env.now());
+        env.step();
+      }
+    });
+  rt.run_steps(5'000);
+  rt.shutdown();
+  ASSERT_GT(p2_steps.size(), 2u);
+  for (std::size_t i = 1; i < p2_steps.size(); ++i)
+    EXPECT_LE(p2_steps[i] - p2_steps[i - 1], 10u);
+}
+
+TEST(SimRuntime, ZeroWeightStarvedWithoutTimely) {
+  SimConfig cfg = base_config(2, 14);
+  cfg.sched_weight = {1.0, 0.0};
+  SimRuntime rt{cfg};
+  std::uint64_t p1_steps = 0;
+  rt.add_process([](Env& env) {
+    for (;;) env.step();
+  });
+  rt.add_process([&p1_steps](Env& env) {
+    for (;;) {
+      ++p1_steps;
+      env.step();
+    }
+  });
+  rt.run_steps(3'000);
+  rt.shutdown();
+  EXPECT_EQ(p1_steps, 0u);
+}
+
+TEST(SimRuntime, PartitionDelaysCrossTraffic) {
+  SimConfig cfg = base_config(2, 15);
+  cfg.partition = Partition{/*side_a=*/0b01, /*from=*/0, /*until=*/5'000};
+  SimRuntime rt{cfg};
+  Step received_at = 0;
+  rt.add_process([](Env& env) {
+    Message m;
+    m.kind = 1;
+    env.send(Pid{1}, m);  // crosses the partition immediately
+  });
+  rt.add_process([&received_at](Env& env) {
+    for (;;) {
+      if (!env.drain_inbox().empty()) {
+        received_at = env.now();
+        return;
+      }
+      env.step();
+    }
+  });
+  EXPECT_TRUE(rt.run_until_all_done(50'000));
+  EXPECT_GE(received_at, 5'000u);  // held until the window closed
+}
+
+TEST(SimRuntime, PartitionDoesNotAffectSameSide) {
+  SimConfig cfg = base_config(3, 16);
+  cfg.partition = Partition{/*side_a=*/0b011, /*from=*/0, /*until=*/100'000};
+  SimRuntime rt{cfg};
+  Step received_at = 0;
+  rt.add_process([](Env& env) {
+    Message m;
+    m.kind = 1;
+    env.send(Pid{1}, m);  // same side: unaffected
+  });
+  rt.add_process([&received_at](Env& env) {
+    for (;;) {
+      if (!env.drain_inbox().empty()) {
+        received_at = env.now();
+        return;
+      }
+      env.step();
+    }
+  });
+  rt.add_process([](Env&) {});
+  EXPECT_TRUE(rt.run_until_all_done(50'000));
+  EXPECT_LT(received_at, 1'000u);
+}
+
+TEST(SimRuntime, MetricsCountRegisterOps) {
+  SimRuntime rt{base_config(2, 17)};
+  rt.set_auto_step_on_shm(false);
+  rt.add_process([](Env& env) {
+    const RegId r = env.reg(key_of(Pid{0}));
+    env.write(r, 1);
+    (void)env.read(r);
+    (void)env.cas(r, 1, 2);
+  });
+  rt.add_process([](Env& env) {
+    const RegId r = env.reg(key_of(Pid{0}));
+    (void)env.read(r);  // remote read
+  });
+  rt.run_until_all_done(1'000);
+  const auto& m = rt.metrics();
+  EXPECT_EQ(m.reg_writes, 1u);
+  EXPECT_EQ(m.reg_reads, 2u);
+  EXPECT_EQ(m.reg_cas_ops, 1u);
+  EXPECT_EQ(m.reg_reads_local, 1u);
+  EXPECT_EQ(m.reg_writes_local, 1u);
+  EXPECT_EQ(m.remote_reads_by_proc[1], 1u);
+  EXPECT_EQ(m.remote_reads_by_proc[0], 0u);
+}
+
+TEST(SimRuntime, CasSemantics) {
+  SimRuntime rt{base_config(1, 18)};
+  rt.add_process([](Env& env) {
+    const RegId r = env.reg(key_of(Pid{0}));
+    EXPECT_EQ(env.cas(r, 0, 10), 0u);   // success, returns old
+    EXPECT_EQ(env.read(r), 10u);
+    EXPECT_EQ(env.cas(r, 0, 20), 10u);  // failure, returns current
+    EXPECT_EQ(env.read(r), 10u);
+  });
+  rt.run_until_all_done(1'000);
+  rt.rethrow_process_error();
+}
+
+TEST(SimRuntime, SendToSelfWorks) {
+  SimRuntime rt{base_config(1, 19)};
+  bool got = false;
+  rt.add_process([&got](Env& env) {
+    Message m;
+    m.kind = 9;
+    env.send(env.self(), m);
+    while (!got) {
+      for (const auto& r : env.drain_inbox())
+        if (r.kind == 9 && r.from == env.self()) got = true;
+      env.step();
+    }
+  });
+  EXPECT_TRUE(rt.run_until_all_done(10'000));
+  EXPECT_TRUE(got);
+}
+
+TEST(SimRuntime, RunStepsReturnsExecutedCount) {
+  SimRuntime rt{base_config(1, 20)};
+  rt.add_process([](Env& env) {
+    for (int i = 0; i < 10; ++i) env.step();
+  });
+  // Process finishes after ~11 scheduler activations.
+  const Step done = rt.run_steps(1'000);
+  EXPECT_LT(done, 50u);
+  EXPECT_TRUE(rt.all_done());
+  EXPECT_EQ(rt.run_steps(10), 0u);  // nothing left to schedule
+}
+
+TEST(SimRuntime, StopRequestedVisible) {
+  SimRuntime rt{base_config(1, 21)};
+  bool observed = false;
+  rt.add_process([&observed](Env& env) {
+    while (!env.stop_requested()) env.step();
+    observed = true;
+  });
+  rt.run_steps(100);
+  rt.request_stop();
+  rt.run_until_all_done(10'000);
+  EXPECT_TRUE(observed);
+}
+
+TEST(SimRuntime, ShutdownKillsParkedProcesses) {
+  SimRuntime rt{base_config(2, 22)};
+  for (int p = 0; p < 2; ++p)
+    rt.add_process([](Env& env) {
+      for (;;) env.step();  // never finishes voluntarily
+    });
+  rt.run_steps(500);
+  rt.shutdown();  // must not hang
+  SUCCEED();
+}
+
+TEST(SimRuntime, ProcessExceptionIsCaptured) {
+  SimRuntime rt{base_config(1, 23)};
+  rt.add_process([](Env&) { throw std::runtime_error{"boom"}; });
+  rt.run_until_all_done(1'000);
+  EXPECT_THROW(rt.rethrow_process_error(), std::runtime_error);
+}
+
+TEST(SimRuntime, AutoStepInterleavesRegisterOps) {
+  // With auto-step on, two processes each doing read-modify-write on the
+  // same register interleave at register-op granularity and lose updates —
+  // the knob that gives the adversary per-operation power. A third process
+  // reads the final count once both writers are done.
+  SimConfig cfg;
+  cfg.gsm = graph::complete(3);
+  cfg.seed = 24;
+  SimRuntime rt{cfg};
+  rt.set_auto_step_on_shm(true);
+  std::uint64_t final_value = 0;
+  std::atomic<int> done_count{0};
+  for (int p = 0; p < 2; ++p)
+    rt.add_process([&done_count](Env& env) {
+      const RegId r = env.reg(key_of(Pid{0}));
+      for (int i = 0; i < 200; ++i) {
+        const auto v = env.read(r);
+        env.write(r, v + 1);
+      }
+      done_count.fetch_add(1);
+    });
+  rt.add_process([&](Env& env) {
+    while (done_count.load() < 2) env.step();
+    final_value = env.read(env.reg(key_of(Pid{0})));
+  });
+  rt.run_until_all_done(1'000'000);
+  rt.rethrow_process_error();
+  // 400 increments issued; lost updates happen with overwhelming probability
+  // under per-op interleaving.
+  EXPECT_LT(final_value, 400u);
+  EXPECT_GT(final_value, 0u);
+}
+
+}  // namespace
+}  // namespace mm::runtime

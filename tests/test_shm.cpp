@@ -1,0 +1,316 @@
+// Property tests for the shared-memory objects: adopt-commit and the two
+// consensus-object implementations, under per-operation adversarial
+// interleavings (SimRuntime auto-step) and real concurrency (ThreadRuntime).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "shm/adopt_commit.hpp"
+#include "shm/consensus_object.hpp"
+
+namespace mm::shm {
+namespace {
+
+using runtime::Env;
+using runtime::RegKey;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+constexpr std::uint8_t kTestTag = 0x20;
+
+// ---------------------------------------------------------------------------
+// AdoptCommit
+// ---------------------------------------------------------------------------
+
+struct AcSweepParam {
+  std::size_t n;
+  std::uint32_t domain;
+  std::uint64_t seed;
+};
+
+class AdoptCommitSweep : public ::testing::TestWithParam<AcSweepParam> {};
+
+TEST_P(AdoptCommitSweep, CoherenceValidityConvergence) {
+  const auto [n, domain, seed] = GetParam();
+  // Many seeded trials per parameter point; each trial is a fresh object
+  // with random inputs under a random adversarial schedule.
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    SimConfig cfg;
+    cfg.gsm = graph::complete(n);
+    cfg.seed = seed * 1000 + trial;
+    SimRuntime rt{cfg};
+
+    Rng inrng{cfg.seed ^ 0xabcdef};
+    std::vector<std::uint32_t> inputs(n);
+    for (auto& v : inputs) v = static_cast<std::uint32_t>(inrng.below(domain));
+
+    std::vector<std::optional<AcResult>> results(n);
+    for (std::uint32_t p = 0; p < n; ++p) {
+      rt.add_process([&results, &inputs, p, d = domain](Env& env) {
+        const AdoptCommit ac{RegKey::make(kTestTag, Pid{0}, 1), d};
+        results[p] = ac.propose(env, inputs[p]);
+      });
+    }
+    ASSERT_TRUE(rt.run_until_all_done(1'000'000));
+    rt.shutdown();
+    rt.rethrow_process_error();
+
+    // Validity: every output was someone's input.
+    std::set<std::uint32_t> input_set{inputs.begin(), inputs.end()};
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.has_value());
+      EXPECT_TRUE(input_set.count(r->value)) << "non-input value";
+    }
+    // Coherence: if anyone committed w, everyone returned w.
+    for (const auto& r : results) {
+      if (r->committed) {
+        for (const auto& r2 : results) EXPECT_EQ(r2->value, r->value);
+      }
+    }
+    // Convergence: unanimous inputs must commit that value.
+    if (input_set.size() == 1) {
+      for (const auto& r : results) {
+        EXPECT_TRUE(r->committed);
+        EXPECT_EQ(r->value, inputs[0]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdoptCommitSweep,
+    ::testing::Values(AcSweepParam{2, 2, 1}, AcSweepParam{3, 2, 2}, AcSweepParam{5, 2, 3},
+                      AcSweepParam{3, 3, 4}, AcSweepParam{5, 3, 5}, AcSweepParam{8, 2, 6},
+                      AcSweepParam{8, 4, 7}, AcSweepParam{4, 6, 8}),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "d" + std::to_string(pinfo.param.domain) +
+             "s" + std::to_string(pinfo.param.seed);
+    });
+
+TEST(AdoptCommit, SoloProposerCommits) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) {
+    const AdoptCommit ac{RegKey::make(kTestTag, Pid{0}, 1), 3};
+    const auto r = ac.propose(env, 2);
+    EXPECT_TRUE(r.committed);
+    EXPECT_EQ(r.value, 2u);
+  });
+  ASSERT_TRUE(rt.run_until_all_done(10'000));
+  rt.rethrow_process_error();
+}
+
+TEST(AdoptCommit, SeenMaskTracksProposals) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) {
+    const AdoptCommit ac{RegKey::make(kTestTag, Pid{0}, 1), 3};
+    (void)ac.propose(env, 0);
+  });
+  rt.add_process([](Env& env) {
+    const AdoptCommit ac{RegKey::make(kTestTag, Pid{0}, 1), 3};
+    (void)ac.propose(env, 2);
+    // After both proposals are announced, seen mask must include both
+    // eventually — re-read until it does (it is monotone).
+    while (ac.seen_mask(env) != 0b101ULL) env.step();
+  });
+  ASSERT_TRUE(rt.run_until_all_done(100'000));
+  rt.rethrow_process_error();
+}
+
+TEST(AdoptCommit, OperationCountBounded) {
+  // Wait-freedom: propose performs O(domain) register ops.
+  SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  SimRuntime rt{cfg};
+  rt.set_auto_step_on_shm(false);
+  rt.add_process([](Env& env) {
+    const AdoptCommit ac{RegKey::make(kTestTag, Pid{0}, 1), 4};
+    (void)ac.propose(env, 1);
+  });
+  ASSERT_TRUE(rt.run_until_all_done(10'000));
+  const auto& m = rt.metrics();
+  EXPECT_LE(m.reg_reads + m.reg_writes, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// ConsensusObject (both implementations)
+// ---------------------------------------------------------------------------
+
+struct ConsSweepParam {
+  std::size_t n;
+  std::uint32_t domain;
+  ConsensusImpl impl;
+  std::uint64_t seed;
+};
+
+class ConsensusObjectSweep : public ::testing::TestWithParam<ConsSweepParam> {};
+
+TEST_P(ConsensusObjectSweep, AgreementValidityWaitFreedom) {
+  const auto [n, domain, impl, seed] = GetParam();
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    SimConfig cfg;
+    cfg.gsm = graph::complete(n);
+    cfg.seed = seed * 7919 + trial;
+    SimRuntime rt{cfg};
+
+    Rng inrng{cfg.seed ^ 0x123456};
+    std::vector<std::uint32_t> inputs(n);
+    for (auto& v : inputs) v = static_cast<std::uint32_t>(inrng.below(domain));
+
+    std::vector<std::optional<std::uint32_t>> results(n);
+    for (std::uint32_t p = 0; p < n; ++p) {
+      rt.add_process([&results, &inputs, p, d = domain, im = impl](Env& env) {
+        const ConsensusObject obj{RegKey::make(kTestTag, Pid{0}, 2), d, im};
+        results[p] = obj.propose(env, inputs[p]);
+      });
+    }
+    ASSERT_TRUE(rt.run_until_all_done(4'000'000));
+    rt.shutdown();
+    rt.rethrow_process_error();
+
+    std::set<std::uint32_t> input_set{inputs.begin(), inputs.end()};
+    ASSERT_TRUE(results[0].has_value());
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(*r, *results[0]);  // agreement
+      EXPECT_TRUE(input_set.count(*r));  // validity
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConsensusObjectSweep,
+    ::testing::Values(ConsSweepParam{2, 2, ConsensusImpl::kCas, 1},
+                      ConsSweepParam{5, 2, ConsensusImpl::kCas, 2},
+                      ConsSweepParam{5, 3, ConsensusImpl::kCas, 3},
+                      ConsSweepParam{2, 2, ConsensusImpl::kRw, 4},
+                      ConsSweepParam{3, 2, ConsensusImpl::kRw, 5},
+                      ConsSweepParam{5, 2, ConsensusImpl::kRw, 6},
+                      ConsSweepParam{5, 3, ConsensusImpl::kRw, 7},
+                      ConsSweepParam{8, 3, ConsensusImpl::kRw, 8}),
+    [](const auto& pinfo) {
+      return std::string{to_string(pinfo.param.impl)} + "n" + std::to_string(pinfo.param.n) +
+             "d" + std::to_string(pinfo.param.domain) + "s" + std::to_string(pinfo.param.seed);
+    });
+
+TEST(ConsensusObject, FirstCasProposalWins) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 31;
+  SimRuntime rt{cfg};
+  rt.set_auto_step_on_shm(false);  // p0 runs to completion first
+  std::vector<std::uint32_t> results(2, 99);
+  rt.add_process([&results](Env& env) {
+    const ConsensusObject obj{RegKey::make(kTestTag, Pid{0}, 3), 2, ConsensusImpl::kCas};
+    results[0] = obj.propose(env, 1);
+  });
+  rt.add_process([&results](Env& env) {
+    // Arrive strictly later.
+    for (int i = 0; i < 50; ++i) env.step();
+    const ConsensusObject obj{RegKey::make(kTestTag, Pid{0}, 3), 2, ConsensusImpl::kCas};
+    results[1] = obj.propose(env, 0);
+  });
+  ASSERT_TRUE(rt.run_until_all_done(100'000));
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(ConsensusObject, PeekBeforeAndAfter) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  SimRuntime rt{cfg};
+  for (const ConsensusImpl impl : {ConsensusImpl::kCas, ConsensusImpl::kRw}) {
+    SimConfig c2;
+    c2.gsm = graph::complete(1);
+    SimRuntime rt2{c2};
+    rt2.add_process([impl](Env& env) {
+      const ConsensusObject obj{RegKey::make(kTestTag, Pid{0}, 4), 3, impl};
+      EXPECT_EQ(obj.peek(env), 3u);  // undecided sentinel = domain
+      const auto v = obj.propose(env, 1);
+      EXPECT_EQ(v, 1u);
+      EXPECT_EQ(obj.peek(env), 1u);
+      // Re-propose returns the existing decision.
+      EXPECT_EQ(obj.propose(env, 0), 1u);
+    });
+    ASSERT_TRUE(rt2.run_until_all_done(100'000));
+    rt2.rethrow_process_error();
+  }
+}
+
+TEST(ConsensusObject, DistinctRoundsAreIndependent) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) {
+    for (std::uint64_t k = 1; k <= 20; ++k) {
+      const ConsensusObject obj{RegKey::make(kTestTag, Pid{0}, k), 2, ConsensusImpl::kRw};
+      EXPECT_EQ(obj.propose(env, k % 2 ? 1u : 0u), k % 2 ? 1u : 0u);
+    }
+  });
+  ASSERT_TRUE(rt.run_until_all_done(1'000'000));
+  rt.rethrow_process_error();
+}
+
+TEST(ConsensusObject, ThreadRuntimeContention) {
+  // Same object proposed from 8 real threads, both impls.
+  for (const ConsensusImpl impl : {ConsensusImpl::kCas, ConsensusImpl::kRw}) {
+    runtime::ThreadRuntime::Config cfg;
+    cfg.gsm = graph::complete(8);
+    cfg.seed = 91;
+    runtime::ThreadRuntime rt{cfg};
+    std::vector<std::atomic<int>> results(8);
+    for (auto& r : results) r.store(-1);
+    for (std::uint32_t p = 0; p < 8; ++p)
+      rt.add_process([&results, p, impl](Env& env) {
+        const ConsensusObject obj{RegKey::make(kTestTag, Pid{0}, 5), 2, impl};
+        results[p].store(static_cast<int>(obj.propose(env, p % 2)));
+      });
+    rt.start();
+    rt.join_all();
+    rt.rethrow_process_error();
+    const int first = results[0].load();
+    ASSERT_GE(first, 0);
+    for (auto& r : results) EXPECT_EQ(r.load(), first);
+  }
+}
+
+TEST(ConsensusObject, CrashMidProposeDoesNotBlockOthers) {
+  // p0 crashes somewhere inside propose (wait-freedom of the object): the
+  // remaining proposers must still decide and agree.
+  for (const ConsensusImpl impl : {ConsensusImpl::kCas, ConsensusImpl::kRw}) {
+    SimConfig cfg;
+    cfg.gsm = graph::complete(4);
+    cfg.seed = 47;
+    cfg.crash_at = {std::optional<Step>{6}, std::nullopt, std::nullopt, std::nullopt};
+    SimRuntime rt{cfg};
+    std::vector<std::optional<std::uint32_t>> results(4);
+    for (std::uint32_t p = 0; p < 4; ++p)
+      rt.add_process([&results, p, impl](Env& env) {
+        const ConsensusObject obj{RegKey::make(kTestTag, Pid{0}, 6), 2, impl};
+        results[p] = obj.propose(env, p % 2);
+      });
+    ASSERT_TRUE(rt.run_until_all_done(2'000'000));
+    rt.shutdown();
+    rt.rethrow_process_error();
+    std::optional<std::uint32_t> agreed;
+    for (std::uint32_t p = 1; p < 4; ++p) {
+      ASSERT_TRUE(results[p].has_value());
+      if (!agreed) agreed = results[p];
+      EXPECT_EQ(*results[p], *agreed);
+    }
+    if (results[0].has_value()) {
+      EXPECT_EQ(*results[0], *agreed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mm::shm

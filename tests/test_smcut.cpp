@@ -1,0 +1,185 @@
+// Tests for SM-cuts (§4.3): the raw definition checker, the distance-3
+// structural lemma, the exact finder, and the Theorem 4.4 threshold.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "graph/smcut.hpp"
+
+namespace mm::graph {
+namespace {
+
+/// Brute-force SM-cut existence for given sides: try every assignment of the
+/// border vertices to (B1, B2). Exponential in |B|; for cross-validating the
+/// distance-3 lemma on small graphs only.
+bool sm_cut_exists_brute(const Graph& g, std::uint64_t s, std::uint64_t t) {
+  const std::size_t n = g.size();
+  const std::uint64_t all = full_mask(n);
+  if (s == 0 || t == 0 || (s & t) != 0) return false;
+  const std::uint64_t border = all & ~(s | t);
+  std::vector<std::size_t> border_vs;
+  for (std::size_t v = 0; v < n; ++v)
+    if ((border >> v) & 1ULL) border_vs.push_back(v);
+  const std::uint64_t combos = 1ULL << border_vs.size();
+  for (std::uint64_t c = 0; c < combos; ++c) {
+    SmCut cut;
+    cut.s = s;
+    cut.t = t;
+    for (std::size_t i = 0; i < border_vs.size(); ++i) {
+      if ((c >> i) & 1ULL)
+        cut.b1 |= 1ULL << border_vs[i];
+      else
+        cut.b2 |= 1ULL << border_vs[i];
+    }
+    if (is_sm_cut(g, cut)) return true;
+  }
+  return false;
+}
+
+TEST(SmCut, RawDefinitionAcceptsHandBuiltExample) {
+  // Path 0-1-2-3-4: S={0}, B1={1}, B2={2,3}? No — use S={0}, T={3,4},
+  // border {1,2}: 1 adjacent to S only → B1; 2 adjacent to T only → B2.
+  const Graph g = path(5);
+  SmCut cut;
+  cut.s = 0b00001;
+  cut.t = 0b11000;
+  cut.b1 = 0b00010;
+  cut.b2 = 0b00100;
+  EXPECT_TRUE(is_sm_cut(g, cut));
+}
+
+TEST(SmCut, RawDefinitionRejectsEdgeViolations) {
+  const Graph g = path(5);
+  // S–T edge: S={0,1}, T={2,3,4} has edge 1-2.
+  SmCut bad1;
+  bad1.s = 0b00011;
+  bad1.t = 0b11100;
+  EXPECT_FALSE(is_sm_cut(g, bad1));
+  // B1 adjacent to T.
+  SmCut bad2;
+  bad2.s = 0b00001;
+  bad2.t = 0b11000;
+  bad2.b1 = 0b00100;  // vertex 2 touches vertex 3 ∈ T
+  bad2.b2 = 0b00010;
+  EXPECT_FALSE(is_sm_cut(g, bad2));
+}
+
+TEST(SmCut, RawDefinitionRejectsNonPartition) {
+  const Graph g = path(4);
+  SmCut cut;
+  cut.s = 0b0001;
+  cut.t = 0b1000;
+  cut.b1 = 0b0010;
+  cut.b2 = 0b0010;  // overlap with b1, and vertex 2 unassigned
+  EXPECT_FALSE(is_sm_cut(g, cut));
+}
+
+TEST(SmCut, Ball2Mask) {
+  const Graph g = path(6);
+  // ball2({0}) = {0,1,2}.
+  EXPECT_EQ(ball2_mask(g, 0b000001), 0b000111u);
+  // ball2({2}) = {0..4}.
+  EXPECT_EQ(ball2_mask(g, 0b000100), 0b011111u);
+}
+
+TEST(SmCut, MakeSmCutRequiresDistance3) {
+  const Graph g = path(6);
+  // dist(0, 3) = 3 ⇒ cut exists with S={0}, T={3,4,5}? dist(0,3)=3 ✓.
+  EXPECT_TRUE(make_sm_cut(g, 0b000001, 0b111000).has_value());
+  // dist(0, 2) = 2 ⇒ no cut.
+  EXPECT_FALSE(make_sm_cut(g, 0b000001, 0b000100).has_value());
+}
+
+TEST(SmCut, MakeSmCutOutputSatisfiesDefinition) {
+  const Graph g = barbell_path(3, 2);
+  // Sides: the two cliques.
+  const std::uint64_t clique_a = 0b00000111;
+  const std::uint64_t clique_b = 0b11100000;
+  const auto cut = make_sm_cut(g, clique_a, clique_b);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_TRUE(is_sm_cut(g, *cut));
+  EXPECT_EQ(cut->s, clique_a);
+  EXPECT_EQ(cut->t, clique_b);
+}
+
+class Distance3LemmaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Distance3LemmaTest, MatchesBruteForceOnRandomGraphs) {
+  // The finder's criterion (pairwise distance ≥ 3) must coincide with raw
+  // SM-cut existence for the same sides.
+  Rng rng{GetParam()};
+  const Graph g = random_regular_must(8, 3, rng);
+  const std::uint64_t all = full_mask(8);
+  int checked = 0;
+  for (std::uint64_t s = 1; s <= all && checked < 3000; ++s) {
+    for (std::uint64_t t = 1; t <= all && checked < 3000; ++t) {
+      if ((s & t) != 0) continue;
+      ++checked;
+      const bool lemma = make_sm_cut(g, s, t).has_value();
+      const bool brute = sm_cut_exists_brute(g, s, t);
+      ASSERT_EQ(lemma, brute) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Distance3LemmaTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(SmCut, CompleteGraphHasNone) {
+  const auto r = max_sm_cut(complete(8));
+  EXPECT_EQ(r.side, 0u);
+  EXPECT_FALSE(r.witness.has_value());
+  EXPECT_EQ(impossibility_f_threshold(complete(8)), 8u);
+}
+
+TEST(SmCut, BarbellPathSidesAreCliques) {
+  // barbell_path(4, 2): n = 10, cliques of 4 at distance 3.
+  const Graph g = barbell_path(4, 2);
+  const auto r = max_sm_cut(g);
+  EXPECT_EQ(r.side, 4u);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(is_sm_cut(g, *r.witness));
+  EXPECT_EQ(impossibility_f_threshold(g), 6u);
+}
+
+TEST(SmCut, LongPathMaxCut) {
+  // Path of 9: T = {0..k}, S = {k+3..8}; best min side is 3 (e.g. 0-2 vs 5-8
+  // gives min(3,4)=3; 0-3 vs 6-8 gives 3).
+  const auto r = max_sm_cut(path(9));
+  EXPECT_EQ(r.side, 3u);
+}
+
+TEST(SmCut, RingMaxCut) {
+  // C_12: two antipodal arcs of length 4 are at distance ≥ 3 when separated
+  // by 2 vertices on each side: arc sizes 4 and 4.
+  const auto r = max_sm_cut(ring(12));
+  EXPECT_EQ(r.side, 4u);
+  EXPECT_EQ(impossibility_f_threshold(ring(12)), 8u);
+}
+
+class ConsistencyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsistencyTest, ToleranceBelowImpossibility) {
+  // Sanity of the theory reproduction: the exact achievable tolerance
+  // (hbo_f_exact) must be strictly below the Theorem 4.4 impossibility
+  // threshold on every graph — solvable and unsolvable cannot overlap.
+  Rng rng{GetParam()};
+  for (const auto& g : {ring(10), path(8), barbell_path(3, 2), chordal_ring(12),
+                        random_regular_must(12, 3, rng), star(8), complete(6)}) {
+    EXPECT_LT(hbo_f_exact(g), impossibility_f_threshold(g)) << g.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyTest, ::testing::Values(10u, 20u, 30u));
+
+TEST(SmCut, HighExpansionRaisesThreshold) {
+  // Expanders push the impossibility threshold up relative to a ring.
+  Rng rng{44};
+  const Graph expander = random_regular_must(16, 4, rng);
+  EXPECT_GT(impossibility_f_threshold(expander), impossibility_f_threshold(ring(16)));
+}
+
+}  // namespace
+}  // namespace mm::graph

@@ -1,0 +1,61 @@
+// End-to-end smoke tests: the simulator runs, algorithms decide, safety
+// holds. Deep per-module suites live in the other test files.
+#include <gtest/gtest.h>
+
+#include "core/trial.hpp"
+#include "graph/generators.hpp"
+
+namespace mm {
+namespace {
+
+TEST(Smoke, BenOrNoCrashesDecides) {
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = graph::edgeless(5);
+  cfg.algo = core::Algo::kBenOr;
+  cfg.f = 0;
+  cfg.crash_pick = core::CrashPick::kNone;
+  cfg.seed = 42;
+  const auto res = core::run_consensus_trial(cfg);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_TRUE(res.validity);
+  EXPECT_TRUE(res.all_correct_decided);
+}
+
+TEST(Smoke, HboCompleteGraphDecides) {
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = graph::complete(5);
+  cfg.algo = core::Algo::kHbo;
+  cfg.f = 0;
+  cfg.crash_pick = core::CrashPick::kNone;
+  cfg.seed = 7;
+  const auto res = core::run_consensus_trial(cfg);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_TRUE(res.validity);
+  EXPECT_TRUE(res.all_correct_decided);
+}
+
+TEST(Smoke, SmConsensusDecides) {
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = graph::complete(4);
+  cfg.algo = core::Algo::kSmConsensus;
+  cfg.impl = shm::ConsensusImpl::kRw;
+  cfg.f = 0;
+  cfg.crash_pick = core::CrashPick::kNone;
+  cfg.seed = 3;
+  const auto res = core::run_consensus_trial(cfg);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_TRUE(res.validity);
+  EXPECT_TRUE(res.all_correct_decided);
+}
+
+TEST(Smoke, OmegaReliableStabilizes) {
+  core::OmegaTrialConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 11;
+  cfg.algo = core::OmegaAlgo::kMnmReliable;
+  const auto res = core::run_omega_trial(cfg);
+  EXPECT_TRUE(res.stabilized);
+}
+
+}  // namespace
+}  // namespace mm

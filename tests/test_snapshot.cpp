@@ -1,0 +1,230 @@
+// Tests for the atomic snapshot object: sequential semantics, concurrent
+// scan comparability (snapshots must form a chain), real-time freshness,
+// borrowed-snapshot paths, and real-thread behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "check/explore.hpp"
+#include "graph/generators.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "shm/snapshot.hpp"
+
+namespace mm::shm {
+namespace {
+
+using runtime::Env;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+constexpr std::uint8_t kTag = 0x63;
+
+/// Snapshots must be totally ordered: for any two, one dominates the other
+/// componentwise in versions.
+bool comparable(const std::vector<AtomicSnapshot::Entry>& a,
+                const std::vector<AtomicSnapshot::Entry>& b) {
+  bool a_le_b = true, b_le_a = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a_le_b = a_le_b && a[i].version <= b[i].version;
+    b_le_a = b_le_a && b[i].version <= a[i].version;
+  }
+  return a_le_b || b_le_a;
+}
+
+TEST(Snapshot, SequentialUpdateThenScan) {
+  SimConfig cfg;
+  cfg.gsm = graph::complete(3);
+  cfg.seed = 1;
+  SimRuntime rt{cfg};
+  rt.add_process([](Env& env) {
+    AtomicSnapshot snap{kTag, 3};
+    snap.update(env, 11);
+    snap.update(env, 12);
+    const auto view = snap.scan(env);
+    EXPECT_EQ(view[0].value, 12u);
+    EXPECT_EQ(view[0].version, 2u);
+    EXPECT_EQ(view[1].value, 0u);
+    EXPECT_EQ(view[1].version, 0u);
+  });
+  rt.add_process([](Env&) {});
+  rt.add_process([](Env&) {});
+  ASSERT_TRUE(rt.run_until_all_done(100'000));
+  rt.rethrow_process_error();
+}
+
+class SnapshotConcurrencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotConcurrencySweep, ScansFormAChain) {
+  // 2 updaters + 2 scanners under adversarial interleavings: every pair of
+  // returned snapshots must be version-comparable, and within one scanner
+  // snapshots must be monotone.
+  constexpr std::size_t kN = 4;
+  SimConfig cfg;
+  cfg.gsm = graph::complete(kN);
+  cfg.seed = GetParam();
+  SimRuntime rt{cfg};
+  std::vector<std::vector<std::vector<AtomicSnapshot::Entry>>> scans(kN);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    rt.add_process([p](Env& env) {
+      AtomicSnapshot snap{kTag, kN};
+      for (std::uint64_t v = 1; v <= 8; ++v) snap.update(env, p * 100 + v);
+    });
+  }
+  for (std::uint32_t p = 2; p < kN; ++p) {
+    rt.add_process([&scans, p](Env& env) {
+      AtomicSnapshot snap{kTag, kN};
+      for (int i = 0; i < 12; ++i) scans[p].push_back(snap.scan(env));
+    });
+  }
+  ASSERT_TRUE(rt.run_until_all_done(2'000'000));
+  rt.shutdown();
+  rt.rethrow_process_error();
+
+  std::vector<std::vector<AtomicSnapshot::Entry>> all;
+  for (std::uint32_t p = 2; p < kN; ++p) {
+    for (std::size_t i = 1; i < scans[p].size(); ++i) {
+      // per-scanner monotonicity
+      for (std::size_t q = 0; q < kN; ++q)
+        EXPECT_LE(scans[p][i - 1][q].version, scans[p][i][q].version);
+    }
+    for (auto& s : scans[p]) all.push_back(s);
+  }
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      EXPECT_TRUE(comparable(all[i], all[j])) << "scans " << i << " and " << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotConcurrencySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Snapshot, ScanSeesCompletedUpdate) {
+  // Real-time freshness: a scan that starts after an update completed must
+  // observe at least that version.
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 7;
+  SimRuntime rt{cfg};
+  std::atomic<bool> updated{false};
+  rt.add_process([&updated](Env& env) {
+    AtomicSnapshot snap{kTag, 2};
+    snap.update(env, 5);
+    updated.store(true);
+    for (int i = 0; i < 200; ++i) env.step();
+  });
+  rt.add_process([&updated](Env& env) {
+    AtomicSnapshot snap{kTag, 2};
+    while (!updated.load()) env.step();
+    const auto view = snap.scan(env);
+    EXPECT_GE(view[0].version, 1u);
+    EXPECT_EQ(view[0].value, 5u);
+  });
+  ASSERT_TRUE(rt.run_until_all_done(200'000));
+  rt.rethrow_process_error();
+}
+
+TEST(Snapshot, ValuesMatchVersions) {
+  // Values encode their own version; every scan must be internally
+  // consistent (value == writer*1000 + version), including borrowed paths.
+  constexpr std::size_t kN = 3;
+  SimConfig cfg;
+  cfg.gsm = graph::complete(kN);
+  cfg.seed = 9;
+  SimRuntime rt{cfg};
+  std::vector<std::vector<AtomicSnapshot::Entry>> observed;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    rt.add_process([p](Env& env) {
+      AtomicSnapshot snap{kTag, kN};
+      for (std::uint64_t v = 1; v <= 10; ++v) snap.update(env, (p + 1) * 1000 + v);
+    });
+  }
+  rt.add_process([&observed](Env& env) {
+    AtomicSnapshot snap{kTag, kN};
+    for (int i = 0; i < 15; ++i) observed.push_back(snap.scan(env));
+  });
+  ASSERT_TRUE(rt.run_until_all_done(2'000'000));
+  rt.shutdown();
+  rt.rethrow_process_error();
+  for (const auto& view : observed) {
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      if (view[p].version == 0) {
+        EXPECT_EQ(view[p].value, 0u);
+      } else {
+        EXPECT_EQ(view[p].value, (p + 1) * 1000 + view[p].version);
+      }
+    }
+  }
+}
+
+TEST(Snapshot, BoundedExplorationUpdateVsScan) {
+  // One updater vs one scanner, explored over thousands of adversarial
+  // interleavings: the scan must return either the old or the new state,
+  // with value and version consistent.
+  auto result_holder = std::make_shared<std::vector<AtomicSnapshot::Entry>>();
+  check::ExploreOptions options;
+  options.max_runs = 800;
+  const auto result = check::explore_schedules(
+      [&]() {
+        result_holder->clear();
+        runtime::SimConfig cfg;
+        cfg.gsm = graph::complete(2);
+        cfg.seed = 21;
+        auto rt = std::make_unique<SimRuntime>(cfg);
+        rt->add_process([](Env& env) {
+          AtomicSnapshot snap{kTag, 2};
+          snap.update(env, 7);
+        });
+        rt->add_process([result_holder](Env& env) {
+          AtomicSnapshot snap{kTag, 2};
+          *result_holder = snap.scan(env);
+        });
+        return rt;
+      },
+      [&](SimRuntime&) {
+        ASSERT_EQ(result_holder->size(), 2u);
+        const auto& seg0 = (*result_holder)[0];
+        if (seg0.version == 0) {
+          EXPECT_EQ(seg0.value, 0u);
+        } else {
+          EXPECT_EQ(seg0.version, 1u);
+          EXPECT_EQ(seg0.value, 7u);
+        }
+      },
+      options);
+  EXPECT_TRUE(result.all_runs_completed);
+  EXPECT_GT(result.runs, 100u);
+}
+
+TEST(Snapshot, ThreadRuntimeChainProperty) {
+  constexpr std::size_t kN = 4;
+  runtime::ThreadRuntime::Config cfg;
+  cfg.gsm = graph::complete(kN);
+  cfg.seed = 11;
+  runtime::ThreadRuntime rt{cfg};
+  std::mutex mtx;
+  std::vector<std::vector<AtomicSnapshot::Entry>> all;
+  for (std::uint32_t p = 0; p < 2; ++p)
+    rt.add_process([p](Env& env) {
+      AtomicSnapshot snap{kTag, kN};
+      for (std::uint64_t v = 1; v <= 50; ++v) snap.update(env, p * 100 + v);
+    });
+  for (std::uint32_t p = 2; p < kN; ++p)
+    rt.add_process([&](Env& env) {
+      AtomicSnapshot snap{kTag, kN};
+      for (int i = 0; i < 50; ++i) {
+        auto s = snap.scan(env);
+        const std::scoped_lock lock{mtx};
+        all.push_back(std::move(s));
+      }
+    });
+  rt.start();
+  rt.join_all();
+  rt.rethrow_process_error();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      EXPECT_TRUE(comparable(all[i], all[j]));
+}
+
+}  // namespace
+}  // namespace mm::shm
