@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_mutex.dir/bench_e12_mutex.cpp.o"
+  "CMakeFiles/bench_e12_mutex.dir/bench_e12_mutex.cpp.o.d"
+  "bench_e12_mutex"
+  "bench_e12_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e13_rsm.cpp" "bench/CMakeFiles/bench_e13_rsm.dir/bench_e13_rsm.cpp.o" "gcc" "bench/CMakeFiles/bench_e13_rsm.dir/bench_e13_rsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/mm_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_rsm.dir/bench_e13_rsm.cpp.o"
+  "CMakeFiles/bench_e13_rsm.dir/bench_e13_rsm.cpp.o.d"
+  "bench_e13_rsm"
+  "bench_e13_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

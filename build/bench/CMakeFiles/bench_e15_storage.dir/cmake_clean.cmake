@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_storage.dir/bench_e15_storage.cpp.o"
+  "CMakeFiles/bench_e15_storage.dir/bench_e15_storage.cpp.o.d"
+  "bench_e15_storage"
+  "bench_e15_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

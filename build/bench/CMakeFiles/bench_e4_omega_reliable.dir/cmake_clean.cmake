@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_omega_reliable.dir/bench_e4_omega_reliable.cpp.o"
+  "CMakeFiles/bench_e4_omega_reliable.dir/bench_e4_omega_reliable.cpp.o.d"
+  "bench_e4_omega_reliable"
+  "bench_e4_omega_reliable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_omega_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_omega_fairlossy.dir/bench_e5_omega_fairlossy.cpp.o"
+  "CMakeFiles/bench_e5_omega_fairlossy.dir/bench_e5_omega_fairlossy.cpp.o.d"
+  "bench_e5_omega_fairlossy"
+  "bench_e5_omega_fairlossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_omega_fairlossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_synchrony.dir/bench_e6_synchrony.cpp.o"
+  "CMakeFiles/bench_e6_synchrony.dir/bench_e6_synchrony.cpp.o.d"
+  "bench_e6_synchrony"
+  "bench_e6_synchrony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_synchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_manager.dir/lease_manager.cpp.o"
+  "CMakeFiles/lease_manager.dir/lease_manager.cpp.o.d"
+  "lease_manager"
+  "lease_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

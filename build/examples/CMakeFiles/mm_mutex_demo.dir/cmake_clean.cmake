@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_mutex_demo.dir/mm_mutex_demo.cpp.o"
+  "CMakeFiles/mm_mutex_demo.dir/mm_mutex_demo.cpp.o.d"
+  "mm_mutex_demo"
+  "mm_mutex_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_mutex_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

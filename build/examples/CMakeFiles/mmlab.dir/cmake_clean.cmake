@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab.dir/mmlab.cpp.o"
+  "CMakeFiles/mmlab.dir/mmlab.cpp.o.d"
+  "mmlab"
+  "mmlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

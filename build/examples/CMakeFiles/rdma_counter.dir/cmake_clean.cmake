@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_counter.dir/rdma_counter.cpp.o"
+  "CMakeFiles/rdma_counter.dir/rdma_counter.cpp.o.d"
+  "rdma_counter"
+  "rdma_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_commit.dir/replicated_commit.cpp.o"
+  "CMakeFiles/replicated_commit.dir/replicated_commit.cpp.o.d"
+  "replicated_commit"
+  "replicated_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

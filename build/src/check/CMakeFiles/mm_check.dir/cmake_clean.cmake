@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_check.dir/explore.cpp.o"
+  "CMakeFiles/mm_check.dir/explore.cpp.o.d"
+  "CMakeFiles/mm_check.dir/linearizability.cpp.o"
+  "CMakeFiles/mm_check.dir/linearizability.cpp.o.d"
+  "libmm_check.a"
+  "libmm_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

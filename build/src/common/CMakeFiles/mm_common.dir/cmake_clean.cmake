@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_common.dir/log.cpp.o"
+  "CMakeFiles/mm_common.dir/log.cpp.o.d"
+  "CMakeFiles/mm_common.dir/rng.cpp.o"
+  "CMakeFiles/mm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mm_common.dir/stats.cpp.o"
+  "CMakeFiles/mm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mm_common.dir/table.cpp.o"
+  "CMakeFiles/mm_common.dir/table.cpp.o.d"
+  "libmm_common.a"
+  "libmm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

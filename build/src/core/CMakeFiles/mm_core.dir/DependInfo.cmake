@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abd.cpp" "src/core/CMakeFiles/mm_core.dir/abd.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/abd.cpp.o.d"
+  "/root/repo/src/core/ben_or.cpp" "src/core/CMakeFiles/mm_core.dir/ben_or.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/ben_or.cpp.o.d"
+  "/root/repo/src/core/bracha.cpp" "src/core/CMakeFiles/mm_core.dir/bracha.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/bracha.cpp.o.d"
+  "/root/repo/src/core/hbo.cpp" "src/core/CMakeFiles/mm_core.dir/hbo.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/hbo.cpp.o.d"
+  "/root/repo/src/core/multi_consensus.cpp" "src/core/CMakeFiles/mm_core.dir/multi_consensus.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/multi_consensus.cpp.o.d"
+  "/root/repo/src/core/mutex.cpp" "src/core/CMakeFiles/mm_core.dir/mutex.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/mutex.cpp.o.d"
+  "/root/repo/src/core/omega.cpp" "src/core/CMakeFiles/mm_core.dir/omega.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/omega.cpp.o.d"
+  "/root/repo/src/core/omega_mp.cpp" "src/core/CMakeFiles/mm_core.dir/omega_mp.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/omega_mp.cpp.o.d"
+  "/root/repo/src/core/omega_paxos.cpp" "src/core/CMakeFiles/mm_core.dir/omega_paxos.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/omega_paxos.cpp.o.d"
+  "/root/repo/src/core/paxos_log.cpp" "src/core/CMakeFiles/mm_core.dir/paxos_log.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/paxos_log.cpp.o.d"
+  "/root/repo/src/core/rsm.cpp" "src/core/CMakeFiles/mm_core.dir/rsm.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/rsm.cpp.o.d"
+  "/root/repo/src/core/sm_consensus.cpp" "src/core/CMakeFiles/mm_core.dir/sm_consensus.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/sm_consensus.cpp.o.d"
+  "/root/repo/src/core/trial.cpp" "src/core/CMakeFiles/mm_core.dir/trial.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/trial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/mm_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

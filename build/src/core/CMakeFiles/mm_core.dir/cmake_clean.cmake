@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_core.dir/abd.cpp.o"
+  "CMakeFiles/mm_core.dir/abd.cpp.o.d"
+  "CMakeFiles/mm_core.dir/ben_or.cpp.o"
+  "CMakeFiles/mm_core.dir/ben_or.cpp.o.d"
+  "CMakeFiles/mm_core.dir/bracha.cpp.o"
+  "CMakeFiles/mm_core.dir/bracha.cpp.o.d"
+  "CMakeFiles/mm_core.dir/hbo.cpp.o"
+  "CMakeFiles/mm_core.dir/hbo.cpp.o.d"
+  "CMakeFiles/mm_core.dir/multi_consensus.cpp.o"
+  "CMakeFiles/mm_core.dir/multi_consensus.cpp.o.d"
+  "CMakeFiles/mm_core.dir/mutex.cpp.o"
+  "CMakeFiles/mm_core.dir/mutex.cpp.o.d"
+  "CMakeFiles/mm_core.dir/omega.cpp.o"
+  "CMakeFiles/mm_core.dir/omega.cpp.o.d"
+  "CMakeFiles/mm_core.dir/omega_mp.cpp.o"
+  "CMakeFiles/mm_core.dir/omega_mp.cpp.o.d"
+  "CMakeFiles/mm_core.dir/omega_paxos.cpp.o"
+  "CMakeFiles/mm_core.dir/omega_paxos.cpp.o.d"
+  "CMakeFiles/mm_core.dir/paxos_log.cpp.o"
+  "CMakeFiles/mm_core.dir/paxos_log.cpp.o.d"
+  "CMakeFiles/mm_core.dir/rsm.cpp.o"
+  "CMakeFiles/mm_core.dir/rsm.cpp.o.d"
+  "CMakeFiles/mm_core.dir/sm_consensus.cpp.o"
+  "CMakeFiles/mm_core.dir/sm_consensus.cpp.o.d"
+  "CMakeFiles/mm_core.dir/trial.cpp.o"
+  "CMakeFiles/mm_core.dir/trial.cpp.o.d"
+  "libmm_core.a"
+  "libmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

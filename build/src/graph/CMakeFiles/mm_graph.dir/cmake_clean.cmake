@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_graph.dir/expansion.cpp.o"
+  "CMakeFiles/mm_graph.dir/expansion.cpp.o.d"
+  "CMakeFiles/mm_graph.dir/generators.cpp.o"
+  "CMakeFiles/mm_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mm_graph.dir/graph.cpp.o"
+  "CMakeFiles/mm_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mm_graph.dir/smcut.cpp.o"
+  "CMakeFiles/mm_graph.dir/smcut.cpp.o.d"
+  "libmm_graph.a"
+  "libmm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_net.dir/broadcast.cpp.o"
+  "CMakeFiles/mm_net.dir/broadcast.cpp.o.d"
+  "CMakeFiles/mm_net.dir/msg_buffer.cpp.o"
+  "CMakeFiles/mm_net.dir/msg_buffer.cpp.o.d"
+  "libmm_net.a"
+  "libmm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

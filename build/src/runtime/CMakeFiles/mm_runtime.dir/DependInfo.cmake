@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/sim_runtime.cpp" "src/runtime/CMakeFiles/mm_runtime.dir/sim_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/mm_runtime.dir/sim_runtime.cpp.o.d"
+  "/root/repo/src/runtime/thread_runtime.cpp" "src/runtime/CMakeFiles/mm_runtime.dir/thread_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/mm_runtime.dir/thread_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_runtime.dir/sim_runtime.cpp.o"
+  "CMakeFiles/mm_runtime.dir/sim_runtime.cpp.o.d"
+  "CMakeFiles/mm_runtime.dir/thread_runtime.cpp.o"
+  "CMakeFiles/mm_runtime.dir/thread_runtime.cpp.o.d"
+  "libmm_runtime.a"
+  "libmm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/adopt_commit.cpp" "src/shm/CMakeFiles/mm_shm.dir/adopt_commit.cpp.o" "gcc" "src/shm/CMakeFiles/mm_shm.dir/adopt_commit.cpp.o.d"
+  "/root/repo/src/shm/consensus_object.cpp" "src/shm/CMakeFiles/mm_shm.dir/consensus_object.cpp.o" "gcc" "src/shm/CMakeFiles/mm_shm.dir/consensus_object.cpp.o.d"
+  "/root/repo/src/shm/packed_state.cpp" "src/shm/CMakeFiles/mm_shm.dir/packed_state.cpp.o" "gcc" "src/shm/CMakeFiles/mm_shm.dir/packed_state.cpp.o.d"
+  "/root/repo/src/shm/snapshot.cpp" "src/shm/CMakeFiles/mm_shm.dir/snapshot.cpp.o" "gcc" "src/shm/CMakeFiles/mm_shm.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

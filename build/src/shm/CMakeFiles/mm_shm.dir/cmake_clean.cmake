@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_shm.dir/adopt_commit.cpp.o"
+  "CMakeFiles/mm_shm.dir/adopt_commit.cpp.o.d"
+  "CMakeFiles/mm_shm.dir/consensus_object.cpp.o"
+  "CMakeFiles/mm_shm.dir/consensus_object.cpp.o.d"
+  "CMakeFiles/mm_shm.dir/packed_state.cpp.o"
+  "CMakeFiles/mm_shm.dir/packed_state.cpp.o.d"
+  "CMakeFiles/mm_shm.dir/snapshot.cpp.o"
+  "CMakeFiles/mm_shm.dir/snapshot.cpp.o.d"
+  "libmm_shm.a"
+  "libmm_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abd.cpp" "tests/CMakeFiles/mm_tests.dir/test_abd.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_abd.cpp.o.d"
+  "/root/repo/tests/test_bracha.cpp" "tests/CMakeFiles/mm_tests.dir/test_bracha.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_bracha.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/mm_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_consensus.cpp" "tests/CMakeFiles/mm_tests.dir/test_consensus.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_consensus.cpp.o.d"
+  "/root/repo/tests/test_coverage.cpp" "tests/CMakeFiles/mm_tests.dir/test_coverage.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_coverage.cpp.o.d"
+  "/root/repo/tests/test_expansion.cpp" "tests/CMakeFiles/mm_tests.dir/test_expansion.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_expansion.cpp.o.d"
+  "/root/repo/tests/test_explore.cpp" "tests/CMakeFiles/mm_tests.dir/test_explore.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_explore.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/mm_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/mm_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_linearizability.cpp" "tests/CMakeFiles/mm_tests.dir/test_linearizability.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_linearizability.cpp.o.d"
+  "/root/repo/tests/test_memory_failure.cpp" "tests/CMakeFiles/mm_tests.dir/test_memory_failure.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_memory_failure.cpp.o.d"
+  "/root/repo/tests/test_multi_consensus.cpp" "tests/CMakeFiles/mm_tests.dir/test_multi_consensus.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_multi_consensus.cpp.o.d"
+  "/root/repo/tests/test_mutex.cpp" "tests/CMakeFiles/mm_tests.dir/test_mutex.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_mutex.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/mm_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_omega.cpp" "tests/CMakeFiles/mm_tests.dir/test_omega.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_omega.cpp.o.d"
+  "/root/repo/tests/test_omega_paxos.cpp" "tests/CMakeFiles/mm_tests.dir/test_omega_paxos.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_omega_paxos.cpp.o.d"
+  "/root/repo/tests/test_paxos_log.cpp" "tests/CMakeFiles/mm_tests.dir/test_paxos_log.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_paxos_log.cpp.o.d"
+  "/root/repo/tests/test_rdma.cpp" "tests/CMakeFiles/mm_tests.dir/test_rdma.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_rdma.cpp.o.d"
+  "/root/repo/tests/test_runtime_sim.cpp" "tests/CMakeFiles/mm_tests.dir/test_runtime_sim.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_runtime_sim.cpp.o.d"
+  "/root/repo/tests/test_runtime_thread.cpp" "tests/CMakeFiles/mm_tests.dir/test_runtime_thread.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_runtime_thread.cpp.o.d"
+  "/root/repo/tests/test_shm.cpp" "tests/CMakeFiles/mm_tests.dir/test_shm.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_shm.cpp.o.d"
+  "/root/repo/tests/test_smcut.cpp" "tests/CMakeFiles/mm_tests.dir/test_smcut.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_smcut.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/mm_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_snapshot.cpp" "tests/CMakeFiles/mm_tests.dir/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/mm_tests.dir/test_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/mm_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/mm_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
