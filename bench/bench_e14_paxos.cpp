@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "core/omega_paxos.hpp"
 #include "core/trial.hpp"
+#include "exec/parallel_map.hpp"
 #include "runtime/sim_runtime.hpp"
 
 namespace {
@@ -67,8 +68,10 @@ int main() {
       int decided = 0;
       const bool expect_block = f >= kN / 2 + (kN % 2);  // f ≥ ⌈n/2⌉ kills quorum
       const Step budget = expect_block ? 200'000 : 4'000'000;
-      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-        const auto out = run_paxos(kN, f, seed * 37, budget);
+      const auto outs = exec::parallel_map(6, [&](std::uint64_t t) {
+        return run_paxos(kN, f, (t + 1) * 37, budget);
+      });
+      for (const auto& out : outs) {
         if (out.decided) {
           ++decided;
           steps.add(out.steps);
@@ -93,12 +96,14 @@ int main() {
       cfg.crash_pick = core::CrashPick::kWorstCase;
       cfg.crash_window = 0;
       cfg.budget = 4'000'000;
-      cfg.seed = 555;
       RunningStats steps;
       int decided = 0;
-      for (std::uint64_t t = 0; t < 6; ++t) {
-        cfg.seed += 1;
-        const auto res = core::run_consensus_trial(cfg);
+      const auto results = exec::parallel_map(6, [&cfg](std::uint64_t t) {
+        core::ConsensusTrialConfig c = cfg;
+        c.seed = 556 + t;
+        return core::run_consensus_trial(c);
+      });
+      for (const auto& res : results) {
         if (!res.agreement || !res.validity) return 1;
         if (res.all_correct_decided) {
           ++decided;

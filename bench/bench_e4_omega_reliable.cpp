@@ -22,18 +22,20 @@ int main() {
   for (const std::size_t n : {4u, 8u, 16u}) {
     bench::WallTimer timer;
     RunningStats stab, fail, msgs, lw, lr, ow, orate;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      core::OmegaTrialConfig cfg;
-      cfg.n = n;
-      cfg.seed = seed * 11;
-      cfg.algo = core::OmegaAlgo::kMnmReliable;
-      cfg.timely = Pid{1};
-      cfg.crash_leader_at = 30'000;
-      cfg.budget = 2'000'000;
-      const auto res = core::run_omega_trial(cfg);
+    core::OmegaTrialConfig cfg;
+    cfg.n = n;
+    cfg.algo = core::OmegaAlgo::kMnmReliable;
+    cfg.timely = Pid{1};
+    cfg.crash_leader_at = 30'000;
+    cfg.budget = 2'000'000;
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) seeds.push_back(seed * 11);
+    const auto results = core::run_omega_trials(cfg, seeds);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& res = results[i];
       if (!res.stabilized) {
         std::printf("!! n=%zu seed %llu did not stabilize\n", n,
-                    static_cast<unsigned long long>(seed));
+                    static_cast<unsigned long long>(i + 1));
         return 1;
       }
       stab.add(static_cast<double>(res.stabilization_step));

@@ -22,14 +22,14 @@ int main() {
     RunningStats stab, msgs, lw, lr, ow, orate;
     int stabilized = 0;
     constexpr int kSeeds = 5;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      core::OmegaTrialConfig cfg;
-      cfg.n = 6;
-      cfg.seed = seed * 13;
-      cfg.algo = core::OmegaAlgo::kMnmFairLossy;
-      cfg.drop_prob = drop;
-      cfg.budget = 2'500'000;
-      const auto res = core::run_omega_trial(cfg);
+    core::OmegaTrialConfig cfg;
+    cfg.n = 6;
+    cfg.algo = core::OmegaAlgo::kMnmFairLossy;
+    cfg.drop_prob = drop;
+    cfg.budget = 2'500'000;
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) seeds.push_back(seed * 13);
+    for (const auto& res : core::run_omega_trials(cfg, seeds)) {
       if (!res.stabilized) continue;
       ++stabilized;
       stab.add(static_cast<double>(res.stabilization_step));

@@ -30,19 +30,19 @@ int main() {
                             core::OmegaAlgo::kMessagePassing}) {
       RunningStats failover;
       int failures = 0;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        core::OmegaTrialConfig cfg;
-        cfg.n = 5;
-        cfg.seed = seed * 17;
-        cfg.algo = algo;
-        cfg.drop_prob = 0.0;  // isolate asynchrony: lossless but slow links
-        cfg.min_delay = 1;
-        cfg.max_delay = delay;
-        cfg.timely = Pid{1};
-        cfg.crash_leader_at = 40'000;
-        cfg.budget = 4'000'000;
-        cfg.check_every = 250;
-        const auto res = core::run_omega_trial(cfg);
+      core::OmegaTrialConfig cfg;
+      cfg.n = 5;
+      cfg.algo = algo;
+      cfg.drop_prob = 0.0;  // isolate asynchrony: lossless but slow links
+      cfg.min_delay = 1;
+      cfg.max_delay = delay;
+      cfg.timely = Pid{1};
+      cfg.crash_leader_at = 40'000;
+      cfg.budget = 4'000'000;
+      cfg.check_every = 250;
+      std::vector<std::uint64_t> seeds;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) seeds.push_back(seed * 17);
+      for (const auto& res : core::run_omega_trials(cfg, seeds)) {
         if (res.stabilized) {
           failover.add(static_cast<double>(res.failover_step));
         } else {

@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "core/hbo.hpp"
 #include "core/trial.hpp"
+#include "exec/parallel_map.hpp"
 #include "runtime/thread_runtime.hpp"
 
 namespace {
@@ -65,9 +66,13 @@ int main() {
     cfg.budget = 4'000'000;
     cfg.seed = n;
     RunningStats rounds, steps, msgs, regs;
-    for (int t = 0; t < 5; ++t) {
-      cfg.seed += 1;
-      const auto res = core::run_consensus_trial(cfg);
+    const std::uint64_t base_seed = cfg.seed;
+    const auto results = exec::parallel_map(5, [&cfg, base_seed](std::uint64_t t) {
+      core::ConsensusTrialConfig c = cfg;
+      c.seed = base_seed + 1 + t;
+      return core::run_consensus_trial(c);
+    });
+    for (const auto& res : results) {
       if (!res.agreement || !res.validity || !res.all_correct_decided) {
         std::printf("!! n=%zu failed\n", n);
         return 1;

@@ -2,12 +2,26 @@
 // simulator scheduling steps, register operations under both runtimes,
 // adopt-commit and consensus-object proposals, and a small end-to-end HBO.
 // These are the constants behind the experiment tables' wall-clock columns.
+//
+// In addition to the google-benchmark suite, main() measures the two
+// headline throughput numbers — scheduler steps/sec and trials/sec at
+// MM_JOBS=1 vs the parallel trial engine — and writes them to
+// BENCH_runtime.json (override the path with MM_BENCH_JSON; MM_BENCH_QUICK=1
+// shrinks the workload for smoke runs) so the perf trajectory is tracked
+// across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "core/hbo.hpp"
 #include "core/tags.hpp"
+#include "core/trial.hpp"
+#include "exec/jobs.hpp"
 #include "graph/expansion.hpp"
 #include "graph/generators.hpp"
 #include "runtime/sim_runtime.hpp"
@@ -126,6 +140,133 @@ void BM_ExactExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactExpansion)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
 
+// Full seeded consensus trials through the parallel engine; Arg = job count
+// (0 = MM_JOBS default). Items/sec is trials/sec.
+void BM_TrialSweep(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  exec::ScopedJobs scoped{jobs};
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = graph::chordal_ring(8);
+  cfg.algo = core::Algo::kHbo;
+  cfg.f = 2;
+  cfg.crash_pick = core::CrashPick::kRandom;
+  cfg.budget = 500'000;
+  cfg.seed = 7'000;
+  constexpr std::uint64_t kTrials = 8;
+  std::uint64_t sweeps = 0;
+  for (auto _ : state) {
+    const auto sweep = core::sweep_termination(cfg, kTrials);
+    benchmark::DoNotOptimize(sweep);
+    cfg.seed += kTrials;
+    ++sweeps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sweeps * kTrials));
+  state.SetLabel("jobs=" + std::to_string(jobs == 0 ? exec::default_jobs() : jobs));
+}
+BENCHMARK(BM_TrialSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_runtime.json: the tracked throughput record.
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// One scheduler handoff round-trip, measured over k steps.
+double measure_steps_per_sec(Step steps) {
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  runtime::SimRuntime rt{cfg};
+  rt.add_process([](runtime::Env& env) {
+    for (;;) env.step();
+  });
+  rt.start();
+  rt.run_steps(1'000);  // warm up
+  const auto start = std::chrono::steady_clock::now();
+  rt.run_steps(steps);
+  return static_cast<double>(steps) / seconds_since(start);
+}
+
+struct SweepTiming {
+  core::TerminationSweep sweep;
+  double trials_per_sec = 0.0;
+};
+
+SweepTiming measure_trials_per_sec(std::size_t jobs, std::uint64_t trials) {
+  exec::ScopedJobs scoped{jobs};
+  core::ConsensusTrialConfig cfg;
+  cfg.gsm = graph::chordal_ring(8);
+  cfg.algo = core::Algo::kHbo;
+  cfg.f = 2;
+  cfg.crash_pick = core::CrashPick::kRandom;
+  cfg.budget = 500'000;
+  cfg.seed = 9'000;
+  SweepTiming out;
+  const auto start = std::chrono::steady_clock::now();
+  out.sweep = core::sweep_termination(cfg, trials);
+  out.trials_per_sec = static_cast<double>(trials) / seconds_since(start);
+  return out;
+}
+
+bool identical(const core::TerminationSweep& a, const core::TerminationSweep& b) {
+  return a.termination_rate == b.termination_rate &&
+         a.mean_decided_round == b.mean_decided_round && a.mean_steps == b.mean_steps &&
+         a.safety_violations == b.safety_violations;
+}
+
+int write_bench_runtime_json() {
+  const bool quick = std::getenv("MM_BENCH_QUICK") != nullptr;
+  const char* path_env = std::getenv("MM_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_runtime.json";
+  const Step step_count = quick ? 100'000 : 1'000'000;
+  const std::uint64_t trials = quick ? 8 : 32;
+  const std::size_t jobs = exec::default_jobs();
+
+  const double steps_per_sec = measure_steps_per_sec(step_count);
+  (void)measure_trials_per_sec(jobs, trials > 8 ? 8 : trials);  // warm up
+  const SweepTiming seq = measure_trials_per_sec(1, trials);
+  const SweepTiming par = measure_trials_per_sec(jobs, trials);
+  const bool deterministic = identical(seq.sweep, par.sweep);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": 1,\n"
+               "  \"quick\": %s,\n"
+               "  \"jobs\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"sim_steps_per_sec\": %.1f,\n"
+               "  \"trials\": %llu,\n"
+               "  \"trials_per_sec_seq\": %.3f,\n"
+               "  \"trials_per_sec_par\": %.3f,\n"
+               "  \"parallel_speedup\": %.3f,\n"
+               "  \"deterministic\": %s\n"
+               "}\n",
+               quick ? "true" : "false", jobs, std::thread::hardware_concurrency(),
+               steps_per_sec, static_cast<unsigned long long>(trials), seq.trials_per_sec,
+               par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,
+               deterministic ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nBENCH_runtime.json -> %s\n", path.c_str());
+  std::printf("  sim steps/sec      : %.0f\n", steps_per_sec);
+  std::printf("  trials/sec (seq)   : %.2f\n", seq.trials_per_sec);
+  std::printf("  trials/sec (%zu job%s): %.2f  (speedup %.2fx, deterministic: %s)\n", jobs,
+              jobs == 1 ? "" : "s", par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,
+              deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_bench_runtime_json();
+}

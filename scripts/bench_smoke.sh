@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Bench smoke: proves the perf tooling hasn't bit-rotted.
+#
+# Builds (or reuses) a RelWithDebInfo tree, runs a trimmed bench_micro plus
+# one fast experiment bench that exercises the parallel trial engine, and
+# validates that BENCH_runtime.json was produced and is well-formed with the
+# expected fields. Wired into CTest under the "smoke" label:
+#     ctest -L smoke
+#
+# Env:
+#   BUILD_DIR   build tree to use (default: build; configured if missing)
+#   MM_JOBS     trial-engine worker count (default: hardware concurrency)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$BUILD_DIR" -j --target bench_micro bench_e9_ablation
+
+json="$BUILD_DIR/BENCH_runtime_smoke.json"
+rm -f "$json"
+
+echo "== bench_micro (quick) =="
+MM_BENCH_QUICK=1 MM_BENCH_JSON="$json" \
+  "$BUILD_DIR/bench/bench_micro" --benchmark_filter='BM_SimStep$|BM_TrialSweep' \
+  --benchmark_min_time=0.05
+
+echo "== bench_e9_ablation =="
+"$BUILD_DIR/bench/bench_e9_ablation" > /dev/null
+
+echo "== validating $json =="
+[ -s "$json" ] || { echo "FAIL: $json missing or empty"; exit 1; }
+
+required_keys="schema jobs sim_steps_per_sec trials_per_sec_seq trials_per_sec_par parallel_speedup deterministic"
+if command -v jq > /dev/null 2>&1; then
+  for key in $required_keys; do
+    jq -e --arg k "$key" 'has($k)' "$json" > /dev/null \
+      || { echo "FAIL: $json lacks key '$key'"; exit 1; }
+  done
+  jq -e '.deterministic == true' "$json" > /dev/null \
+    || { echo "FAIL: parallel sweep was not bit-identical to sequential"; exit 1; }
+elif command -v python3 > /dev/null 2>&1; then
+  python3 - "$json" $required_keys <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+missing = [k for k in sys.argv[2:] if k not in doc]
+if missing:
+    sys.exit(f"FAIL: missing keys {missing}")
+if doc["deterministic"] is not True:
+    sys.exit("FAIL: parallel sweep was not bit-identical to sequential")
+EOF
+else
+  grep -q '"deterministic": true' "$json" \
+    || { echo "FAIL: deterministic flag absent"; exit 1; }
+fi
+
+echo "bench smoke OK"

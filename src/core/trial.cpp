@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "exec/parallel_map.hpp"
 #include "core/ben_or.hpp"
 #include "core/hbo.hpp"
 #include "core/omega.hpp"
@@ -183,13 +184,23 @@ ConsensusTrialResult run_consensus_trial(const ConsensusTrialConfig& cfg) {
 }
 
 TerminationSweep sweep_termination(ConsensusTrialConfig cfg, std::uint64_t trials) {
+  // Trials are independent seeded runs (seeds cfg.seed, cfg.seed+1, ... per
+  // the header contract), so they fan out across the worker pool; the
+  // reduction below consumes results in seed order, which keeps every
+  // aggregate — including the floating-point sums — bit-identical to the
+  // sequential loop (and to MM_JOBS=1).
+  const std::uint64_t base_seed = cfg.seed;
+  const auto results = exec::parallel_map(trials, [&cfg, base_seed](std::uint64_t t) {
+    ConsensusTrialConfig c = cfg;
+    c.seed = base_seed + t;
+    return run_consensus_trial(c);
+  });
+
   TerminationSweep sweep;
   std::uint64_t terminated = 0;
   double rounds = 0.0;
   double steps = 0.0;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    cfg.seed = cfg.seed + 1;
-    const ConsensusTrialResult res = run_consensus_trial(cfg);
+  for (const ConsensusTrialResult& res : results) {
     if (!res.agreement || !res.validity) ++sweep.safety_violations;
     if (res.all_correct_decided) {
       ++terminated;
@@ -338,6 +349,15 @@ OmegaTrialResult run_omega_trial(const OmegaTrialConfig& cfg) {
     res.others_reads_per_1k = orr * per_1k / static_cast<double>(others);
   }
   return res;
+}
+
+std::vector<OmegaTrialResult> run_omega_trials(const OmegaTrialConfig& cfg,
+                                               const std::vector<std::uint64_t>& seeds) {
+  return exec::parallel_map(seeds.size(), [&cfg, &seeds](std::uint64_t i) {
+    OmegaTrialConfig c = cfg;
+    c.seed = seeds[i];
+    return run_omega_trial(c);
+  });
 }
 
 }  // namespace mm::core

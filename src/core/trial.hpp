@@ -73,7 +73,9 @@ struct ConsensusTrialResult {
 [[nodiscard]] ConsensusTrialResult run_consensus_trial(const ConsensusTrialConfig& cfg);
 
 /// Convenience: fraction of `trials` seeds (seed, seed+1, ...) in which all
-/// correct processes decided, with safety asserted on every run.
+/// correct processes decided, with safety asserted on every run. Trials fan
+/// out across the MM_JOBS worker pool (see exec/parallel_map.hpp); the
+/// aggregate is reduced in seed order and is bit-identical at any job count.
 struct TerminationSweep {
   double termination_rate = 0.0;
   double mean_decided_round = 0.0;  ///< over terminating runs
@@ -133,5 +135,11 @@ struct OmegaTrialResult {
 };
 
 [[nodiscard]] OmegaTrialResult run_omega_trial(const OmegaTrialConfig& cfg);
+
+/// Parallel fan-out of independent Ω trials: result[i] is run_omega_trial
+/// with cfg.seed = seeds[i], returned in input order — deterministic at any
+/// MM_JOBS, so callers can reduce however they like.
+[[nodiscard]] std::vector<OmegaTrialResult> run_omega_trials(
+    const OmegaTrialConfig& cfg, const std::vector<std::uint64_t>& seeds);
 
 }  // namespace mm::core

@@ -1,0 +1,41 @@
+#include "exec/jobs.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace mm::exec {
+
+namespace {
+
+std::size_t& override_slot() {
+  static std::size_t value = 0;
+  return value;
+}
+
+std::size_t env_jobs() {
+  const char* raw = std::getenv("MM_JOBS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return 0;  // malformed: ignore
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+std::size_t default_jobs() {
+  if (override_slot() != 0) return override_slot();
+  if (const std::size_t env = env_jobs(); env != 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+void set_jobs_override(std::size_t jobs) { override_slot() = jobs; }
+
+ScopedJobs::ScopedJobs(std::size_t jobs) : previous_(override_slot()) {
+  override_slot() = jobs;
+}
+
+ScopedJobs::~ScopedJobs() { override_slot() = previous_; }
+
+}  // namespace mm::exec

@@ -1,0 +1,32 @@
+// Worker-count resolution for the parallel trial engine.
+//
+// Precedence: programmatic override (tests) > MM_JOBS environment variable >
+// std::thread::hardware_concurrency(). A resolved value of 1 means "run
+// inline on the calling thread" — no pool, no worker threads — which
+// reproduces the historical sequential behavior exactly.
+#pragma once
+
+#include <cstddef>
+
+namespace mm::exec {
+
+/// Resolved degree of trial-level parallelism (always >= 1).
+[[nodiscard]] std::size_t default_jobs();
+
+/// Force the job count, ignoring MM_JOBS (0 clears the override). Intended
+/// for tests; prefer ScopedJobs.
+void set_jobs_override(std::size_t jobs);
+
+/// RAII override of the job count (restores the previous override on exit).
+class ScopedJobs {
+ public:
+  explicit ScopedJobs(std::size_t jobs);
+  ~ScopedJobs();
+  ScopedJobs(const ScopedJobs&) = delete;
+  ScopedJobs& operator=(const ScopedJobs&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+}  // namespace mm::exec

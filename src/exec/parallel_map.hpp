@@ -1,0 +1,63 @@
+// parallel_map — the parallel trial engine's front door.
+//
+// Runs fn(0), fn(1), ..., fn(count-1) across a fixed-size worker pool and
+// returns the results *in index order*, so any reduction the caller performs
+// is bit-identical to the sequential loop it replaced — including
+// floating-point accumulation order. Parallelism is safe exactly when each
+// fn(i) is a pure function of i (the seeded-trial contract: one index = one
+// seed = one self-contained SimRuntime).
+//
+// Error semantics: exceptions are captured per index and the one thrown by
+// the *smallest* index is rethrown after the pool drains ("first seed
+// wins"). This is deterministic: once some index has failed, only smaller
+// indices keep being claimed, and every index below the eventual winner runs
+// to completion. A throwing trial therefore surfaces exactly like it would
+// have sequentially, and can never deadlock or abandon the pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <type_traits>
+#include <vector>
+
+#include "exec/jobs.hpp"
+#include "exec/worker_pool.hpp"
+
+namespace mm::exec {
+
+template <typename Fn>
+auto parallel_map(std::uint64_t count, Fn&& fn, std::size_t jobs = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::uint64_t>> {
+  using R = std::invoke_result_t<Fn&, std::uint64_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallel_map results must be default-constructible");
+  if (jobs == 0) jobs = default_jobs();
+
+  std::vector<R> out(count);
+  if (jobs <= 1 || count <= 1) {
+    // MM_JOBS=1: the historical sequential path, verbatim — same thread,
+    // same order, exceptions propagate from the failing index directly.
+    for (std::uint64_t i = 0; i < count; ++i) out[i] = fn(i);
+    return out;
+  }
+
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::uint64_t> first_error{count};
+  WorkerPool::run_indexed(count, jobs, [&](std::uint64_t i) {
+    if (i > first_error.load(std::memory_order_relaxed)) return;
+    try {
+      out[i] = fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+      std::uint64_t cur = first_error.load(std::memory_order_relaxed);
+      while (i < cur && !first_error.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  const std::uint64_t bad = first_error.load(std::memory_order_relaxed);
+  if (bad < count) std::rethrow_exception(errors[bad]);
+  return out;
+}
+
+}  // namespace mm::exec

@@ -44,8 +44,13 @@ SimRuntime::SimRuntime(SimConfig config)
   Rng seeder{config_.seed ^ 0xa5a5a5a5a5a5a5a5ULL};
   proc_rng_.reserve(config_.n());
   for (std::size_t i = 0; i < config_.n(); ++i) proc_rng_.push_back(seeder.split());
-  if (!config_.crash_at.empty())
+  if (!config_.crash_at.empty()) {
     MM_ASSERT_MSG(config_.crash_at.size() == config_.n(), "crash plan arity");
+    for (std::size_t i = 0; i < config_.crash_at.size(); ++i)
+      if (config_.crash_at[i].has_value())
+        crash_schedule_.emplace_back(*config_.crash_at[i], static_cast<std::uint32_t>(i));
+    std::sort(crash_schedule_.begin(), crash_schedule_.end());
+  }
   if (!config_.memory_fail_at.empty())
     MM_ASSERT_MSG(config_.memory_fail_at.size() == config_.n(), "memory-fail plan arity");
   if (!config_.sched_weight.empty())
@@ -67,8 +72,10 @@ void SimRuntime::start() {
   if (started_) return;
   MM_ASSERT_MSG(procs_.size() == config_.n(), "add exactly n process bodies before start");
   started_ = true;
+  runnable_.reserve(procs_.size());
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     procs_[i]->state = ProcState::kParked;
+    runnable_.push_back(i);
     procs_[i]->thread = std::thread([this, i] { thread_main(i); });
   }
 }
@@ -110,12 +117,19 @@ void SimRuntime::shutdown() {
 
 bool SimRuntime::runnable(const Proc& p) const { return p.state == ProcState::kParked; }
 
+void SimRuntime::remove_runnable(std::size_t idx) {
+  const auto it = std::lower_bound(runnable_.begin(), runnable_.end(), idx);
+  if (it != runnable_.end() && *it == idx) runnable_.erase(it);
+}
+
 void SimRuntime::apply_crash_plan() {
-  if (config_.crash_at.empty()) return;
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    const auto& at = config_.crash_at[i];
-    if (at.has_value() && *at <= global_step_ && procs_[i]->state == ProcState::kParked) {
+  while (crash_next_ < crash_schedule_.size() &&
+         crash_schedule_[crash_next_].first <= global_step_) {
+    const std::size_t i = crash_schedule_[crash_next_].second;
+    ++crash_next_;
+    if (procs_[i]->state == ProcState::kParked) {
       procs_[i]->state = ProcState::kCrashed;
+      remove_runnable(i);
       trace_event(Pid{static_cast<std::uint32_t>(i)}, TraceEvent::Kind::kCrash);
     }
   }
@@ -125,6 +139,7 @@ void SimRuntime::crash_now(Pid p) {
   MM_ASSERT(p.index() < procs_.size());
   if (procs_[p.index()]->state == ProcState::kParked) {
     procs_[p.index()]->state = ProcState::kCrashed;
+    remove_runnable(p.index());
     trace_event(p, TraceEvent::Kind::kCrash);
   }
 }
@@ -134,8 +149,8 @@ void SimRuntime::enable_trace(std::size_t capacity) {
   trace_.clear();
 }
 
-void SimRuntime::trace_event(Pid pid, TraceEvent::Kind kind, std::uint64_t a, std::uint64_t b) {
-  if (trace_capacity_ == 0) return;
+void SimRuntime::trace_event_slow(Pid pid, TraceEvent::Kind kind, std::uint64_t a,
+                                  std::uint64_t b) {
   trace_.push_back(TraceEvent{global_step_, pid, kind, a, b});
   while (trace_.size() > trace_capacity_) trace_.pop_front();
 }
@@ -158,36 +173,38 @@ std::string SimRuntime::dump_trace(std::size_t last_n) const {
   return out;
 }
 
+void SimRuntime::activate(std::size_t pick) {
+  Proc& pr = *procs_[pick];
+  ++metrics_.steps_by_proc[pick];
+  trace_event(Pid{static_cast<std::uint32_t>(pick)}, TraceEvent::Kind::kSchedule);
+  pr.resume.release();
+  pr.done.acquire();
+  if (pr.finished_flag) {
+    pr.state = ProcState::kFinished;
+    remove_runnable(pick);
+  }
+  ++global_step_;
+}
+
 bool SimRuntime::step_once() {
   apply_crash_plan();
-
-  std::vector<std::size_t> run;
-  run.reserve(procs_.size());
-  for (std::size_t i = 0; i < procs_.size(); ++i)
-    if (runnable(*procs_[i])) run.push_back(i);
-  if (run.empty()) return false;
+  if (runnable_.empty()) return false;
 
   // Externally driven schedules (exhaustive exploration) bypass the
   // adversary entirely.
   if (schedule_policy_) {
-    std::vector<Pid> runnable_pids;
-    runnable_pids.reserve(run.size());
-    for (const std::size_t i : run) runnable_pids.push_back(Pid{static_cast<std::uint32_t>(i)});
-    const std::size_t choice = schedule_policy_(runnable_pids);
-    MM_ASSERT_MSG(choice < run.size(), "schedule policy choice out of range");
-    Proc& chosen = *procs_[run[choice]];
-    ++metrics_.steps_by_proc[run[choice]];
-    trace_event(Pid{static_cast<std::uint32_t>(run[choice])}, TraceEvent::Kind::kSchedule);
-    chosen.resume.release();
-    chosen.done.acquire();
-    if (chosen.finished_flag) chosen.state = ProcState::kFinished;
-    ++global_step_;
+    policy_scratch_.clear();
+    policy_scratch_.reserve(runnable_.size());
+    for (const std::size_t i : runnable_) policy_scratch_.push_back(Pid{static_cast<std::uint32_t>(i)});
+    const std::size_t choice = schedule_policy_(policy_scratch_);
+    MM_ASSERT_MSG(choice < runnable_.size(), "schedule policy choice out of range");
+    activate(runnable_[choice]);
     return true;
   }
 
   // Timeliness guarantee (§3): force-schedule the timely process before its
   // window closes; otherwise pick adversarially at random (weighted).
-  std::size_t pick = run.front();
+  std::size_t pick = runnable_.front();
   bool forced = false;
   ++steps_since_timely_;
   if (config_.timely.has_value()) {
@@ -199,33 +216,37 @@ bool SimRuntime::step_once() {
     }
   }
   if (!forced) {
-    double total = 0.0;
-    for (std::size_t i : run)
-      total += config_.sched_weight.empty() ? 1.0 : config_.sched_weight[i];
-    if (total <= 0.0) {
-      pick = run[sched_rng_.below(run.size())];
+    if (config_.sched_weight.empty()) {
+      // Uniform weights: the prefix-sum walk collapses to an index lookup.
+      // This consumes the same uniform01() draw and selects the same index
+      // the walk would (total is exactly double(size); repeated `r -= 1.0`
+      // is exact for r < 2^53, so the walk lands on floor(r)).
+      const double r = sched_rng_.uniform01() * static_cast<double>(runnable_.size());
+      std::size_t idx = static_cast<std::size_t>(r);
+      if (idx >= runnable_.size()) idx = runnable_.size() - 1;
+      pick = runnable_[idx];
     } else {
-      double r = sched_rng_.uniform01() * total;
-      pick = run.back();
-      for (std::size_t i : run) {
-        const double w = config_.sched_weight.empty() ? 1.0 : config_.sched_weight[i];
-        if (r < w) {
-          pick = i;
-          break;
+      double total = 0.0;
+      for (const std::size_t i : runnable_) total += config_.sched_weight[i];
+      if (total <= 0.0) {
+        pick = runnable_[sched_rng_.below(runnable_.size())];
+      } else {
+        double r = sched_rng_.uniform01() * total;
+        pick = runnable_.back();
+        for (const std::size_t i : runnable_) {
+          const double w = config_.sched_weight[i];
+          if (r < w) {
+            pick = i;
+            break;
+          }
+          r -= w;
         }
-        r -= w;
       }
     }
   }
   if (config_.timely.has_value() && pick == config_.timely->index()) steps_since_timely_ = 0;
 
-  Proc& pr = *procs_[pick];
-  ++metrics_.steps_by_proc[pick];
-  trace_event(Pid{static_cast<std::uint32_t>(pick)}, TraceEvent::Kind::kSchedule);
-  pr.resume.release();
-  pr.done.acquire();
-  if (pr.finished_flag) pr.state = ProcState::kFinished;
-  ++global_step_;
+  activate(pick);
   return true;
 }
 
@@ -301,17 +322,20 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
       deliver_at = part.until + link_rng_.between(config_.min_delay, config_.max_delay);
     }
   }
-  pending_[to.index()].emplace(std::pair{deliver_at, send_seq_++}, std::move(m));
+  auto& pend = pending_[to.index()];
+  pend.push_back(InFlight{deliver_at, send_seq_++, std::move(m)});
+  std::push_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
 }
 
 void SimRuntime::deliver_eligible(Pid to) {
   auto& pend = pending_[to.index()];
   auto& box = inbox_[to.index()];
-  while (!pend.empty() && pend.begin()->first.first <= global_step_) {
-    trace_event(pend.begin()->second.from, TraceEvent::Kind::kDeliver, to.value(),
-                pend.begin()->second.kind);
-    box.push_back(std::move(pend.begin()->second));
-    pend.erase(pend.begin());
+  while (!pend.empty() && pend.front().deliver_at <= global_step_) {
+    std::pop_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+    InFlight f = std::move(pend.back());
+    pend.pop_back();
+    trace_event(f.msg.from, TraceEvent::Kind::kDeliver, to.value(), f.msg.kind);
+    box.push_back(std::move(f.msg));
     ++metrics_.msgs_delivered;
   }
 }

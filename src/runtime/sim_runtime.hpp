@@ -17,7 +17,6 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <map>
 #include <memory>
 #include <semaphore>
 #include <string>
@@ -163,11 +162,23 @@ class SimRuntime {
     std::uint64_t seq;
     Message msg;
   };
+  /// Heap order for pending_: true when `a` delivers after `b`, so
+  /// std::push_heap/pop_heap with this comparator keep the *earliest*
+  /// (deliver_at, seq) at the front — the same order the old std::map
+  /// iterated in, without per-message node allocations.
+  static bool delivers_later(const InFlight& a, const InFlight& b) noexcept {
+    return a.deliver_at != b.deliver_at ? a.deliver_at > b.deliver_at : a.seq > b.seq;
+  }
 
   void thread_main(std::size_t idx);
   /// One scheduler step; returns false when no process is runnable.
   bool step_once();
+  /// Hand one step to procs_[pick] and park again, bookkeeping included.
+  void activate(std::size_t pick);
   [[nodiscard]] bool runnable(const Proc& p) const;
+  /// Drop a pid from the incrementally-maintained runnable list (kParked →
+  /// kFinished/kCrashed transitions are one-way, so the list only shrinks).
+  void remove_runnable(std::size_t idx);
   void apply_crash_plan();
   void check_register_access(Pid accessor, RegId r) const;
   void deliver_eligible(Pid to);
@@ -182,11 +193,27 @@ class SimRuntime {
   std::uint64_t env_cas(Pid self, RegId r, std::uint64_t expected, std::uint64_t desired);
   void env_step(Pid self);
   void maybe_auto_step(Pid self);
-  void trace_event(Pid pid, TraceEvent::Kind kind, std::uint64_t a = 0, std::uint64_t b = 0);
+  /// Hot-path tracing hook: a branch-predictable no-op unless enable_trace
+  /// armed it (the capacity check inlines; the ring push stays out of line).
+  void trace_event(Pid pid, TraceEvent::Kind kind, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (trace_capacity_ == 0) [[likely]] {
+      return;
+    }
+    trace_event_slow(pid, kind, a, b);
+  }
+  void trace_event_slow(Pid pid, TraceEvent::Kind kind, std::uint64_t a, std::uint64_t b);
 
   SimConfig config_;
   SchedulePolicy schedule_policy_;
   std::vector<std::unique_ptr<Proc>> procs_;
+  /// Runnable pids in pid order, maintained incrementally (see
+  /// remove_runnable) instead of being rebuilt by scanning every step.
+  std::vector<std::size_t> runnable_;
+  std::vector<Pid> policy_scratch_;  ///< reused buffer for schedule_policy_ calls
+  /// Crash plan flattened to (step, pid), sorted; crash_next_ advances as
+  /// steps pass so apply_crash_plan is O(1) when nothing is due.
+  std::vector<std::pair<Step, std::uint32_t>> crash_schedule_;
+  std::size_t crash_next_ = 0;
   bool started_ = false;
   bool shut_down_ = false;
   bool stop_requested_ = false;
@@ -205,9 +232,9 @@ class SimRuntime {
   std::vector<std::uint64_t> reg_values_;
   std::vector<RegMeta> reg_meta_;
 
-  // Per-destination pending messages ordered by (deliver_at, seq); inbox of
-  // already-delivered messages awaiting drain.
-  std::vector<std::map<std::pair<Step, std::uint64_t>, Message>> pending_;
+  // Per-destination pending messages: a binary min-heap on (deliver_at, seq)
+  // (see delivers_later); inbox of already-delivered messages awaiting drain.
+  std::vector<std::vector<InFlight>> pending_;
   std::vector<std::vector<Message>> inbox_;
 
   std::size_t trace_capacity_ = 0;
