@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -24,6 +25,8 @@
 #include "exec/jobs.hpp"
 #include "graph/expansion.hpp"
 #include "graph/generators.hpp"
+#include "runtime/exec_backend.hpp"
+#include "runtime/fiber.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "shm/adopt_commit.hpp"
 #include "shm/consensus_object.hpp"
@@ -32,7 +35,8 @@ namespace {
 
 using namespace mm;
 
-// One scheduler handoff round-trip: the simulator's unit cost.
+// One scheduler handoff round-trip: the simulator's unit cost (default
+// backend — coroutine unless MM_SIM_BACKEND says otherwise).
 void BM_SimStep(benchmark::State& state) {
   runtime::SimConfig cfg;
   cfg.gsm = graph::complete(1);
@@ -43,8 +47,39 @@ void BM_SimStep(benchmark::State& state) {
   rt.start();
   for (auto _ : state) rt.run_steps(1);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(to_string(rt.backend()));
 }
 BENCHMARK(BM_SimStep);
+
+// Same round-trip on the reference thread backend (two semaphore handoffs
+// across OS threads) — the cost the coroutine backend eliminates.
+void BM_SimStepThread(benchmark::State& state) {
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::complete(1);
+  cfg.backend = runtime::SimBackend::kThread;
+  runtime::SimRuntime rt{cfg};
+  rt.add_process([](runtime::Env& env) {
+    for (;;) env.step();
+  });
+  rt.start();
+  for (auto _ : state) rt.run_steps(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimStepThread);
+
+// Raw fiber resume/yield round-trip, no scheduler at all: the floor the
+// coroutine backend's step cost sits on.
+void BM_FiberHandoff(benchmark::State& state) {
+  bool stop = false;
+  runtime::Fiber fiber{[&] {
+    while (!stop) fiber.yield();
+  }};
+  for (auto _ : state) fiber.resume();
+  stop = true;
+  while (!fiber.done()) fiber.resume();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FiberHandoff);
 
 // Register write through the simulator (includes the auto-step handoff).
 void BM_SimRegisterWrite(benchmark::State& state) {
@@ -174,9 +209,10 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 // One scheduler handoff round-trip, measured over k steps.
-double measure_steps_per_sec(Step steps) {
+double measure_steps_per_sec(Step steps, std::optional<runtime::SimBackend> backend = {}) {
   runtime::SimConfig cfg;
   cfg.gsm = graph::complete(1);
+  cfg.backend = backend;
   runtime::SimRuntime rt{cfg};
   rt.add_process([](runtime::Env& env) {
     for (;;) env.step();
@@ -188,12 +224,28 @@ double measure_steps_per_sec(Step steps) {
   return static_cast<double>(steps) / seconds_since(start);
 }
 
+// Raw fiber resume/yield pairs per second (no scheduler logic at all).
+double measure_handoffs_per_sec(std::uint64_t handoffs) {
+  bool stop = false;
+  runtime::Fiber fiber{[&] {
+    while (!stop) fiber.yield();
+  }};
+  for (std::uint64_t i = 0; i < 1'000; ++i) fiber.resume();  // warm up
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < handoffs; ++i) fiber.resume();
+  const double rate = static_cast<double>(handoffs) / seconds_since(start);
+  stop = true;
+  while (!fiber.done()) fiber.resume();
+  return rate;
+}
+
 struct SweepTiming {
   core::TerminationSweep sweep;
   double trials_per_sec = 0.0;
 };
 
-SweepTiming measure_trials_per_sec(std::size_t jobs, std::uint64_t trials) {
+SweepTiming measure_trials_per_sec(std::size_t jobs, std::uint64_t trials,
+                                   std::optional<runtime::SimBackend> backend = {}) {
   exec::ScopedJobs scoped{jobs};
   core::ConsensusTrialConfig cfg;
   cfg.gsm = graph::chordal_ring(8);
@@ -202,6 +254,7 @@ SweepTiming measure_trials_per_sec(std::size_t jobs, std::uint64_t trials) {
   cfg.crash_pick = core::CrashPick::kRandom;
   cfg.budget = 500'000;
   cfg.seed = 9'000;
+  cfg.backend = backend;
   SweepTiming out;
   const auto start = std::chrono::steady_clock::now();
   out.sweep = core::sweep_termination(cfg, trials);
@@ -223,11 +276,29 @@ int write_bench_runtime_json() {
   const std::uint64_t trials = quick ? 8 : 32;
   const std::size_t jobs = exec::default_jobs();
 
+  // sim_steps_per_sec keeps its schema-1 meaning — the default backend —
+  // alongside explicit per-backend rates and the raw fiber handoff floor.
   const double steps_per_sec = measure_steps_per_sec(step_count);
+  const double steps_coroutine =
+      measure_steps_per_sec(step_count, runtime::SimBackend::kCoroutine);
+  const double steps_thread =
+      measure_steps_per_sec(quick ? step_count : step_count / 4, runtime::SimBackend::kThread);
+  const double handoffs_per_sec = measure_handoffs_per_sec(quick ? 200'000 : 2'000'000);
+
   (void)measure_trials_per_sec(jobs, trials > 8 ? 8 : trials);  // warm up
   const SweepTiming seq = measure_trials_per_sec(1, trials);
   const SweepTiming par = measure_trials_per_sec(jobs, trials);
   const bool deterministic = identical(seq.sweep, par.sweep);
+
+  // Backend invariance: the same sweep, forced onto each backend, must
+  // produce bit-identical aggregates (the BackendDiff suite checks the full
+  // trajectories; this records the same property in the perf trail).
+  const std::uint64_t inv_trials = quick ? 4 : 8;
+  const SweepTiming inv_coro =
+      measure_trials_per_sec(1, inv_trials, runtime::SimBackend::kCoroutine);
+  const SweepTiming inv_thread =
+      measure_trials_per_sec(1, inv_trials, runtime::SimBackend::kThread);
+  const bool backend_invariant = identical(inv_coro.sweep, inv_thread.sweep);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -236,29 +307,40 @@ int write_bench_runtime_json() {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 1,\n"
+               "  \"schema\": 2,\n"
                "  \"quick\": %s,\n"
                "  \"jobs\": %zu,\n"
                "  \"hardware_concurrency\": %u,\n"
+               "  \"backend_default\": \"%s\",\n"
                "  \"sim_steps_per_sec\": %.1f,\n"
+               "  \"sim_steps_per_sec_coroutine\": %.1f,\n"
+               "  \"sim_steps_per_sec_thread\": %.1f,\n"
+               "  \"handoffs_per_sec\": %.1f,\n"
                "  \"trials\": %llu,\n"
                "  \"trials_per_sec_seq\": %.3f,\n"
                "  \"trials_per_sec_par\": %.3f,\n"
                "  \"parallel_speedup\": %.3f,\n"
-               "  \"deterministic\": %s\n"
+               "  \"deterministic\": %s,\n"
+               "  \"backend_invariant\": %s\n"
                "}\n",
                quick ? "true" : "false", jobs, std::thread::hardware_concurrency(),
-               steps_per_sec, static_cast<unsigned long long>(trials), seq.trials_per_sec,
-               par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,
-               deterministic ? "true" : "false");
+               to_string(runtime::default_sim_backend()), steps_per_sec, steps_coroutine,
+               steps_thread, handoffs_per_sec, static_cast<unsigned long long>(trials),
+               seq.trials_per_sec, par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,
+               deterministic ? "true" : "false", backend_invariant ? "true" : "false");
   std::fclose(f);
   std::printf("\nBENCH_runtime.json -> %s\n", path.c_str());
-  std::printf("  sim steps/sec      : %.0f\n", steps_per_sec);
+  std::printf("  sim steps/sec      : %.0f (default: %s)\n", steps_per_sec,
+              to_string(runtime::default_sim_backend()));
+  std::printf("  coroutine backend  : %.0f steps/sec\n", steps_coroutine);
+  std::printf("  thread backend     : %.0f steps/sec\n", steps_thread);
+  std::printf("  fiber handoffs/sec : %.0f\n", handoffs_per_sec);
   std::printf("  trials/sec (seq)   : %.2f\n", seq.trials_per_sec);
   std::printf("  trials/sec (%zu job%s): %.2f  (speedup %.2fx, deterministic: %s)\n", jobs,
               jobs == 1 ? "" : "s", par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,
               deterministic ? "yes" : "NO");
-  return deterministic ? 0 : 1;
+  std::printf("  backend invariant  : %s\n", backend_invariant ? "yes" : "NO");
+  return deterministic && backend_invariant ? 0 : 1;
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ echo "== bench_e9_ablation =="
 echo "== validating $json =="
 [ -s "$json" ] || { echo "FAIL: $json missing or empty"; exit 1; }
 
-required_keys="schema jobs sim_steps_per_sec trials_per_sec_seq trials_per_sec_par parallel_speedup deterministic"
+required_keys="schema jobs hardware_concurrency backend_default sim_steps_per_sec sim_steps_per_sec_coroutine sim_steps_per_sec_thread handoffs_per_sec trials_per_sec_seq trials_per_sec_par parallel_speedup deterministic backend_invariant"
 if command -v jq > /dev/null 2>&1; then
   for key in $required_keys; do
     jq -e --arg k "$key" 'has($k)' "$json" > /dev/null \
@@ -42,6 +42,18 @@ if command -v jq > /dev/null 2>&1; then
   done
   jq -e '.deterministic == true' "$json" > /dev/null \
     || { echo "FAIL: parallel sweep was not bit-identical to sequential"; exit 1; }
+  jq -e '.backend_invariant == true' "$json" > /dev/null \
+    || { echo "FAIL: coroutine and thread backends diverged"; exit 1; }
+  jobs=$(jq -r '.jobs' "$json")
+  hc=$(jq -r '.hardware_concurrency' "$json")
+  speedup=$(jq -r '.parallel_speedup' "$json")
+  echo "jobs=$jobs hardware_concurrency=$hc parallel_speedup=$speedup"
+  # A parallel speedup near 1.0 is only suspicious when there are cores to
+  # spare; on a single-core machine it is the expected outcome.
+  if [ "$hc" -gt 1 ] && [ "$jobs" -gt 1 ]; then
+    awk -v s="$speedup" 'BEGIN { exit !(s < 1.2) }' \
+      && echo "WARN: parallel_speedup=$speedup despite $hc cores ($jobs jobs)"
+  fi
 elif command -v python3 > /dev/null 2>&1; then
   python3 - "$json" $required_keys <<'EOF'
 import json, sys
@@ -51,10 +63,19 @@ if missing:
     sys.exit(f"FAIL: missing keys {missing}")
 if doc["deterministic"] is not True:
     sys.exit("FAIL: parallel sweep was not bit-identical to sequential")
+if doc["backend_invariant"] is not True:
+    sys.exit("FAIL: coroutine and thread backends diverged")
+jobs, hc = doc["jobs"], doc["hardware_concurrency"]
+speedup = doc["parallel_speedup"]
+print(f"jobs={jobs} hardware_concurrency={hc} parallel_speedup={speedup}")
+if hc > 1 and jobs > 1 and speedup < 1.2:
+    print(f"WARN: parallel_speedup={speedup} despite {hc} cores ({jobs} jobs)")
 EOF
 else
   grep -q '"deterministic": true' "$json" \
     || { echo "FAIL: deterministic flag absent"; exit 1; }
+  grep -q '"backend_invariant": true' "$json" \
+    || { echo "FAIL: backend_invariant flag absent"; exit 1; }
 fi
 
 echo "bench smoke OK"

@@ -62,7 +62,8 @@ void AbdRegister::join_group(std::vector<AbdRegister*> group) {
 }
 
 void AbdRegister::serve(Env& env) {
-  for (const Message& m : env.drain_inbox()) {
+  env.drain_inbox(drain_scratch_);
+  for (const Message& m : drain_scratch_) {
     if (group_.empty()) {
       handle(env, m);
     } else {

@@ -82,6 +82,7 @@ class AbdRegister {
   std::vector<bool> replied_;
   std::size_t replies_ = 0;
   Tagged best_;
+  std::vector<runtime::Message> drain_scratch_;  ///< reused by serve()
 };
 
 }  // namespace mm::core

@@ -80,7 +80,8 @@ std::optional<std::uint64_t> BrachaBroadcast::on_message(Env& env, const Message
 
 std::optional<std::uint64_t> BrachaBroadcast::pump(Env& env, std::vector<Message>* foreign) {
   std::optional<std::uint64_t> out;
-  for (auto& m : env.drain_inbox()) {
+  env.drain_inbox(drain_scratch_);
+  for (auto& m : drain_scratch_) {
     const auto got = on_message(env, m);
     if (got.has_value() && !out.has_value()) out = got;
     if (m.kind != kMsgBracha && foreign != nullptr) foreign->push_back(std::move(m));

@@ -71,6 +71,7 @@ class BrachaBroadcast {
   // Per-value sets of distinct senders seen for each phase.
   std::map<std::uint64_t, std::set<Pid>> echoes_;
   std::map<std::uint64_t, std::set<Pid>> readies_;
+  std::vector<runtime::Message> drain_scratch_;  ///< reused by pump()
 };
 
 }  // namespace mm::core

@@ -49,8 +49,10 @@ std::uint64_t HboConsensus::reg_round(std::uint64_t k) const {
 std::vector<RepTuple> HboConsensus::build_tuples(Env& env, std::uint8_t tag,
                                                  std::uint64_t round, std::uint32_t domain,
                                                  std::uint32_t my_value) {
+  const std::vector<Pid> hood = config_.gsm->closed_neighborhood(env.self());
   std::vector<RepTuple> tuples;
-  for (Pid q : config_.gsm->closed_neighborhood(env.self())) {
+  tuples.reserve(hood.size());
+  for (Pid q : hood) {
     const shm::ConsensusObject object{RegKey::make(tag, q, reg_round(round)), domain,
                                       config_.impl};
     try {
@@ -66,8 +68,10 @@ std::vector<RepTuple> HboConsensus::build_tuples(Env& env, std::uint8_t tag,
 
 std::vector<RepTuple> HboConsensus::build_tuples_random(Env& env, std::uint64_t round) {
   // Fig. 2's final branch draws a fresh random bit per represented process.
+  const std::vector<Pid> hood = config_.gsm->closed_neighborhood(env.self());
   std::vector<RepTuple> tuples;
-  for (Pid q : config_.gsm->closed_neighborhood(env.self())) {
+  tuples.reserve(hood.size());
+  for (Pid q : hood) {
     const std::uint32_t v = env.coin() ? 1 : 0;
     const shm::ConsensusObject object{RegKey::make(kTagRVals, q, reg_round(round)),
                                       kBinaryDomain, config_.impl};

@@ -43,7 +43,7 @@ void MultiConsensus::run(Env& env) {
   announce.value = initial_value_;
   net::send_to_all(env, announce);
 
-  auto absorb = [&](std::vector<Message> msgs) {
+  auto absorb = [&](std::vector<Message>& msgs) {
     for (auto& m : msgs) {
       if (m.kind == kMsgCandidate && m.round == config_.instance_base) {
         candidates_.insert(m.value);
@@ -51,8 +51,10 @@ void MultiConsensus::run(Env& env) {
         carry_.push_back(std::move(m));
       }
     }
+    msgs.clear();
   };
-  absorb(take_buffer());  // seeded messages may already hold candidates
+  std::vector<Message> scratch = take_buffer();  // seeded messages may hold candidates
+  absorb(scratch);
 
   // Step 2: agree bit by bit, most significant first.
   std::uint64_t prefix = 0;  // agreed high bits, right-aligned
@@ -74,7 +76,8 @@ void MultiConsensus::run(Env& env) {
     };
     std::optional<std::uint64_t> candidate = matching();
     while (!candidate.has_value()) {
-      absorb(env.drain_inbox());
+      env.drain_inbox(scratch);
+      absorb(scratch);
       candidate = matching();
       if (candidate.has_value()) break;
       if (env.stop_requested()) return;
@@ -89,7 +92,8 @@ void MultiConsensus::run(Env& env) {
     HboConsensus bit{hc, static_cast<std::uint32_t>((*candidate >> shift) & 1ULL)};
     bit.seed_buffer(take_buffer());
     bit.run(env);
-    absorb(bit.take_buffer());
+    scratch = bit.take_buffer();
+    absorb(scratch);
     if (bit.decision() < 0) return;  // stopped or round budget exhausted
     prefix = (prefix << 1) | static_cast<std::uint64_t>(bit.decision());
   }

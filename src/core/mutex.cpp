@@ -55,8 +55,10 @@ void MnmMutex::lock(Env& env, MutexStats& stats) {
       return;
     }
     bool woken = false;
+    std::vector<Message> drained;  // reused across wait iterations
     while (!woken) {
-      for (const Message& m : env.drain_inbox())
+      env.drain_inbox(drained);
+      for (const Message& m : drained)
         if (m.kind == kMsgWakeup) woken = true;
       ++stats.wait_steps;
       env.step();

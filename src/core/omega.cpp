@@ -42,13 +42,15 @@ struct OmegaMM::Local {
   // Message-mechanism receive buffers (drained once per iteration).
   std::vector<bool> pending_notify;
   std::uint64_t pending_accusations = 0;
+  std::vector<Message> drain_scratch;  ///< reused inbox drain buffer
 };
 
 OmegaMM::OmegaMM(Config config) : config_(config) {}
 OmegaMM::~OmegaMM() = default;
 
 void OmegaMM::pump_messages(Env& env, Local& local, std::vector<Message>* foreign) {
-  for (auto& m : env.drain_inbox()) {
+  env.drain_inbox(local.drain_scratch);
+  for (auto& m : local.drain_scratch) {
     if (m.kind == kMsgNotify) {
       if (local.pending_notify.empty()) local.pending_notify.assign(env.n(), false);
       local.pending_notify[m.from.index()] = true;

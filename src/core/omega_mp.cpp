@@ -15,6 +15,7 @@ void OmegaMP::run(Env& env) {
   std::vector<std::uint64_t> last_seen(n, 0);   // own-iteration of last ALIVE from q
   std::vector<std::uint64_t> timeout(n, config_.initial_timeout);
   std::vector<bool> suspected(n, false);
+  std::vector<Message> drained;  // reused across iterations
   std::uint64_t iter = 0;
 
   while (!env.stop_requested()) {
@@ -27,7 +28,8 @@ void OmegaMP::run(Env& env) {
       net::send_to_others(env, alive);
     }
 
-    for (const Message& m : env.drain_inbox()) {
+    env.drain_inbox(drained);
+    for (const Message& m : drained) {
       if (m.kind != kMsgAlive) continue;
       const std::size_t q = m.from.index();
       if (suspected[q]) {

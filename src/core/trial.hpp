@@ -56,6 +56,11 @@ struct ConsensusTrialConfig {
   Step min_delay = 1;
   Step max_delay = 8;
   std::optional<runtime::Partition> partition;
+
+  /// Execution backend override; unset = SimConfig's resolution (environment
+  /// MM_SIM_BACKEND, then the coroutine default). Trajectories are
+  /// backend-invariant, so this only affects speed.
+  std::optional<runtime::SimBackend> backend;
 };
 
 struct ConsensusTrialResult {
@@ -117,6 +122,9 @@ struct OmegaTrialConfig {
   /// checks (checks run every check_every steps).
   Step check_every = 500;
   int stable_checks = 10;
+
+  /// Execution backend override; see ConsensusTrialConfig::backend.
+  std::optional<runtime::SimBackend> backend;
 };
 
 struct OmegaTrialResult {

@@ -10,6 +10,13 @@ void MsgBuffer::ingest(std::vector<Message> msgs) {
                std::make_move_iterator(msgs.end()));
 }
 
+void MsgBuffer::pump(runtime::Env& env) {
+  env.drain_inbox(scratch_);
+  msgs_.insert(msgs_.end(), std::make_move_iterator(scratch_.begin()),
+               std::make_move_iterator(scratch_.end()));
+  scratch_.clear();  // keeps capacity for the next drain
+}
+
 std::vector<const Message*> MsgBuffer::matching(std::uint32_t kind,
                                                 std::uint64_t round) const {
   std::vector<const Message*> out;

@@ -21,8 +21,10 @@ class MsgBuffer {
  public:
   /// Append freshly drained messages.
   void ingest(std::vector<Message> msgs);
-  /// Drain env's inbox into the buffer.
-  void pump(runtime::Env& env) { ingest(env.drain_inbox()); }
+  /// Drain env's inbox into the buffer through a reused scratch buffer, so
+  /// the steady-state pump does not allocate (the per-step hot path of every
+  /// round-based algorithm).
+  void pump(runtime::Env& env);
 
   /// Pointers into the buffer for all messages with this (kind, round).
   /// Invalidated by ingest/pump/gc.
@@ -52,6 +54,7 @@ class MsgBuffer {
 
  private:
   std::vector<Message> msgs_;
+  std::vector<Message> scratch_;  ///< reused drain buffer (see pump)
 };
 
 }  // namespace mm::net

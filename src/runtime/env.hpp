@@ -36,9 +36,18 @@ class Env {
   // -- message passing (fully connected network, §3) -------------------------
   /// Send m to `to`. The runtime stamps m.from. Sending to self is allowed.
   virtual void send(Pid to, Message m) = 0;
-  /// All messages delivered to this process and not yet consumed, in
-  /// delivery order. Non-blocking; never returns undelivered messages.
-  [[nodiscard]] virtual std::vector<Message> drain_inbox() = 0;
+  /// Move every message delivered to this process and not yet consumed into
+  /// `out` (cleared first), in delivery order. Non-blocking; never surfaces
+  /// undelivered messages. Reusing one `out` buffer across calls recycles
+  /// its capacity — the allocation-free form every per-step receive loop
+  /// should use.
+  virtual void drain_inbox(std::vector<Message>& out) = 0;
+  /// Convenience form: returns a freshly allocated vector per call.
+  [[nodiscard]] std::vector<Message> drain_inbox() {
+    std::vector<Message> out;
+    drain_inbox(out);
+    return out;
+  }
 
   // -- shared memory (uniform domain from GSM, §3) ---------------------------
   /// Resolve a register name to a handle, materialising the register (value

@@ -1,0 +1,270 @@
+#include "runtime/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+// -- AddressSanitizer fiber-switch protocol ---------------------------------
+// ASan models each stack with a shadow region and (optionally) a fake stack
+// for use-after-return detection. Switching stacks behind its back produces
+// false positives, so every switch is bracketed with start/finish calls: the
+// context switching *away* announces the destination stack, and the context
+// switching *in* finalises with the fake-stack handle it saved when it last
+// left. A null handle on the final switch out of a dying fiber tells ASan to
+// free that fiber's fake stack.
+#if defined(__SANITIZE_ADDRESS__)
+#define MM_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MM_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(MM_FIBER_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
+namespace mm::runtime {
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+#if defined(__x86_64__)
+
+// ---------------------------------------------------------------------------
+// x86-64 fast path: save/restore the System V callee-saved register set.
+//
+// mm_fiber_switch(save_sp, target_sp) pushes rbp/rbx/r12–r15 plus the x87
+// control word and MXCSR onto the current stack, parks the resulting stack
+// pointer in *save_sp, adopts target_sp, and unwinds the mirror-image frame
+// there. A brand-new fiber's stack is pre-seeded (see init_frame) with a
+// frame whose return address is mm_fiber_trampoline, which forwards the
+// Fiber* parked in r12 to the C++ entry thunk parked in rbx.
+// ---------------------------------------------------------------------------
+
+extern "C" {
+void mm_fiber_switch(void** save_sp, void* target_sp);
+void mm_fiber_trampoline();
+void mm_fiber_entry_thunk(void* self);
+}
+
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl mm_fiber_switch\n"
+    ".type mm_fiber_switch, @function\n"
+    "mm_fiber_switch:\n"
+    "  .cfi_startproc\n"
+    "  endbr64\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  stmxcsr 4(%rsp)\n"
+    "  fnstcw (%rsp)\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  fldcw (%rsp)\n"
+    "  ldmxcsr 4(%rsp)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    "  .cfi_endproc\n"
+    ".size mm_fiber_switch, .-mm_fiber_switch\n"
+    ".align 16\n"
+    ".globl mm_fiber_trampoline\n"
+    ".type mm_fiber_trampoline, @function\n"
+    "mm_fiber_trampoline:\n"
+    "  .cfi_startproc\n"
+    "  .cfi_undefined rip\n"  // stop unwinders at the fiber's stack root
+    "  movq %r12, %rdi\n"
+    "  callq *%rbx\n"
+    "  ud2\n"  // the entry thunk never returns
+    "  .cfi_endproc\n"
+    ".size mm_fiber_trampoline, .-mm_fiber_trampoline\n"
+    ".previous\n");
+
+extern "C" void mm_fiber_entry_thunk(void* self) {
+  Fiber::run_entry(static_cast<Fiber*>(self));
+}
+
+namespace {
+
+/// Seed a fresh stack with the frame mm_fiber_switch expects to restore.
+/// Layout (ascending from the returned sp): [fcw|mxcsr] r15 r14 r13 r12 rbx
+/// rbp ret — with r12 = the Fiber* and rbx = the entry thunk, consumed by
+/// mm_fiber_trampoline. Alignment: `top` is 16-aligned and the frame is 64
+/// bytes of pops + 8 of ret below a 16-byte scratch gap, which lands the
+/// trampoline's rsp 16-aligned exactly as the ABI requires at a call site.
+void* init_frame(void* stack_lo, std::size_t stack_bytes, Fiber* self) {
+  std::uintptr_t top = reinterpret_cast<std::uintptr_t>(stack_lo) + stack_bytes;
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* frame = reinterpret_cast<std::uint64_t*>(top - 80);
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  __asm__ volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  frame[0] = static_cast<std::uint64_t>(fcw) | (static_cast<std::uint64_t>(mxcsr) << 32);
+  frame[1] = 0;  // r15
+  frame[2] = 0;  // r14
+  frame[3] = 0;  // r13
+  frame[4] = reinterpret_cast<std::uint64_t>(self);                  // r12
+  frame[5] = reinterpret_cast<std::uint64_t>(&mm_fiber_entry_thunk); // rbx
+  frame[6] = 0;                                                      // rbp
+  frame[7] = reinterpret_cast<std::uint64_t>(&mm_fiber_trampoline);  // ret
+  return frame;
+}
+
+}  // namespace
+
+#endif  // __x86_64__
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)) {
+  MM_ASSERT_MSG(entry_ != nullptr, "fiber needs an entry function");
+  const std::size_t page = page_size();
+  stack_bytes_ = round_up(stack_bytes < 4 * page ? 4 * page : stack_bytes, page);
+  map_bytes_ = stack_bytes_ + page;  // + guard page
+  stack_map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  MM_ASSERT_MSG(stack_map_ != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end: stack overflow faults instead of corrupting
+  // the neighbouring fiber's stack.
+  MM_ASSERT(::mprotect(stack_map_, page, PROT_NONE) == 0);
+  stack_lo_ = static_cast<char*>(stack_map_) + page;
+
+#if defined(__x86_64__)
+  sp_ = init_frame(stack_lo_, stack_bytes_, this);
+#else
+  auto* ctx = new ucontext_t;
+  auto* caller = new ucontext_t;
+  uctx_ = ctx;
+  caller_uctx_ = caller;
+  MM_ASSERT(::getcontext(ctx) == 0);
+  ctx->uc_stack.ss_sp = stack_lo_;
+  ctx->uc_stack.ss_size = stack_bytes_;
+  ctx->uc_link = nullptr;
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(ctx, reinterpret_cast<void (*)()>(&Fiber::ucontext_trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+#endif
+}
+
+Fiber::~Fiber() {
+  // A suspended-but-unfinished fiber cannot be unwound from outside; the
+  // owner (SimRuntime::shutdown) must kill-and-drain first. Enforce it: the
+  // alternative is silently skipped destructors on the fiber stack.
+  MM_ASSERT_MSG(done_ || !started_, "fiber destroyed while suspended mid-entry");
+#if !defined(__x86_64__)
+  delete static_cast<ucontext_t*>(uctx_);
+  delete static_cast<ucontext_t*>(caller_uctx_);
+#endif
+  if (stack_map_ != nullptr) ::munmap(stack_map_, map_bytes_);
+}
+
+void Fiber::run_entry(Fiber* self) {
+#if defined(MM_FIBER_ASAN)
+  // First entry: no fake stack saved yet (null), and learn the resumer's
+  // stack bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->caller_stack_bottom_,
+                                  &self->caller_stack_size_);
+#endif
+  try {
+    self->entry_();
+  } catch (...) {
+    MM_ASSERT_MSG(false, "exception escaped a fiber entry function");
+  }
+  self->done_ = true;
+#if defined(MM_FIBER_ASAN)
+  // Final switch out: null handle releases this fiber's fake stack.
+  __sanitizer_start_switch_fiber(nullptr, self->caller_stack_bottom_,
+                                 self->caller_stack_size_);
+#endif
+#if defined(__x86_64__)
+  mm_fiber_switch(&self->sp_, self->caller_sp_);
+#else
+  ::swapcontext(static_cast<ucontext_t*>(self->uctx_),
+                static_cast<ucontext_t*>(self->caller_uctx_));
+#endif
+  // Unreachable (resume() asserts !done_), but must stay a *returning* path:
+  // if every path aborted, GCC would infer this function noreturn and plant
+  // __asan_handle_no_return in the thunk, which runs on the fiber stack —
+  // memory ASan's thread bookkeeping doesn't own — and kills the process.
+}
+
+#if !defined(__x86_64__)
+void Fiber::ucontext_trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  run_entry(reinterpret_cast<Fiber*>(bits));
+}
+#endif
+
+void Fiber::resume() {
+  MM_ASSERT_MSG(!done_, "resume on a finished fiber");
+  MM_ASSERT_MSG(!running_, "re-entrant fiber resume");
+  started_ = true;
+  running_ = true;
+#if defined(MM_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(&caller_fake_stack_, stack_lo_, stack_bytes_);
+#endif
+#if defined(__x86_64__)
+  mm_fiber_switch(&caller_sp_, sp_);
+#else
+  ::swapcontext(static_cast<ucontext_t*>(caller_uctx_), static_cast<ucontext_t*>(uctx_));
+#endif
+#if defined(MM_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(caller_fake_stack_, nullptr, nullptr);
+#endif
+  running_ = false;
+}
+
+void Fiber::yield() {
+  MM_ASSERT_MSG(running_, "yield outside a running fiber");
+#if defined(MM_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(&fiber_fake_stack_, caller_stack_bottom_,
+                                 caller_stack_size_);
+#endif
+#if defined(__x86_64__)
+  mm_fiber_switch(&sp_, caller_sp_);
+#else
+  ::swapcontext(static_cast<ucontext_t*>(uctx_), static_cast<ucontext_t*>(caller_uctx_));
+#endif
+#if defined(MM_FIBER_ASAN)
+  // Re-learn the resumer's bounds every time: nested runtimes and the
+  // parallel trial engine can resume the same fiber from different stacks.
+  __sanitizer_finish_switch_fiber(fiber_fake_stack_, &caller_stack_bottom_,
+                                  &caller_stack_size_);
+#endif
+}
+
+}  // namespace mm::runtime

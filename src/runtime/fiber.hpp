@@ -1,0 +1,95 @@
+// Stackful symmetric-transfer fiber: the userspace context switch behind the
+// simulator's coroutine execution backend.
+//
+// Algorithm bodies are ordinary sequential C++ that calls Env::step() deep
+// inside a real call stack, so a stackless C++20 coroutine cannot host them
+// unchanged. A Fiber gives each process its own (small, guarded, lazily
+// committed) stack and swaps the callee-saved register state directly, which
+// makes a scheduler↔process handoff two userspace register swaps instead of
+// two semaphore round-trips across OS threads — no syscalls, no kernel
+// context switch, no scheduler latency.
+//
+// On x86-64 the switch is a hand-rolled assembly routine (callee-saved GPRs
+// plus the x87/SSE control words, ~20ns round trip). Elsewhere it falls back
+// to POSIX ucontext, which is slower (swapcontext saves the signal mask via a
+// syscall) but portable; the thread backend remains the reference semantics
+// either way.
+//
+// Exceptions must never propagate out of the entry function (the simulator's
+// process wrapper catches everything); control must never leave a fiber
+// except through yield() or entry return. AddressSanitizer builds annotate
+// every switch with the __sanitizer_*_switch_fiber protocol, so fiber stacks
+// are first-class citizens under ASan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mm::runtime {
+
+class Fiber {
+ public:
+  /// Usable stack bytes per fiber (rounded up to the page size; a PROT_NONE
+  /// guard page sits below it). Deliberately far smaller than a thread stack:
+  /// algorithm bodies are shallow, and pages are committed only when touched.
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  /// Create a suspended fiber that will run `entry` on first resume().
+  /// `entry` must not throw and must return (or yield forever); destroying a
+  /// fiber that is suspended mid-entry skips the destructors of everything
+  /// live on its stack, so owners drain fibers to completion first.
+  explicit Fiber(std::function<void()> entry,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfer control into the fiber. Returns when the fiber calls yield()
+  /// or its entry function returns. Must not be called re-entrantly or after
+  /// done().
+  void resume();
+
+  /// Transfer control back to the most recent resumer. Only callable from
+  /// inside the fiber.
+  void yield();
+
+  /// True once the entry function has returned; resume() is then forbidden.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Implementation hook: the C++ side of the assembly trampoline. Public
+  /// only because the extern "C" thunk must reach it; never call directly.
+  static void run_entry(Fiber* self);
+
+ private:
+#if !defined(__x86_64__)
+  static void ucontext_trampoline(unsigned hi, unsigned lo);
+#endif
+
+  std::function<void()> entry_;
+  void* stack_map_ = nullptr;   ///< mmap base (guard page at the low end)
+  std::size_t map_bytes_ = 0;   ///< guard + usable
+  void* stack_lo_ = nullptr;    ///< lowest usable stack address
+  std::size_t stack_bytes_ = 0; ///< usable stack size
+  bool started_ = false;
+  bool running_ = false;
+  bool done_ = false;
+
+  // Saved machine contexts. On x86-64 a context is just a stack pointer (the
+  // callee-saved registers live on the owning stack); the ucontext fallback
+  // keeps full ucontext_t blobs out-of-line to spare the common-case header.
+  void* sp_ = nullptr;        ///< fiber's stack pointer while suspended
+  void* caller_sp_ = nullptr; ///< resumer's stack pointer while fiber runs
+#if !defined(__x86_64__)
+  void* uctx_ = nullptr;        ///< ucontext_t of the fiber
+  void* caller_uctx_ = nullptr; ///< ucontext_t of the resumer
+#endif
+
+  // AddressSanitizer fake-stack bookkeeping (unused members cost nothing in
+  // plain builds and keep the layout identical across configurations).
+  void* caller_fake_stack_ = nullptr;       ///< saved by resume()
+  void* fiber_fake_stack_ = nullptr;        ///< saved by yield()
+  const void* caller_stack_bottom_ = nullptr;
+  std::size_t caller_stack_size_ = 0;
+};
+
+}  // namespace mm::runtime

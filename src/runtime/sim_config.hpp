@@ -9,6 +9,7 @@
 
 #include "common/ids.hpp"
 #include "graph/graph.hpp"
+#include "runtime/exec_backend.hpp"
 
 namespace mm::runtime {
 
@@ -40,6 +41,11 @@ struct SimConfig {
   graph::Graph gsm;
 
   std::uint64_t seed = 1;
+
+  /// Execution backend for process bodies (see runtime/exec_backend.hpp).
+  /// Unset: the MM_SIM_BACKEND environment default (coroutine). Trajectories
+  /// are bit-identical across backends; this only changes the handoff cost.
+  std::optional<SimBackend> backend;
 
   LinkType link_type = LinkType::kReliable;
   double drop_prob = 0.0;  ///< per-message drop probability (fair-lossy only)

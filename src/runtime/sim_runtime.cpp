@@ -12,7 +12,7 @@ namespace mm::runtime {
 
 std::size_t SimEnv::n() const { return rt_->config().n(); }
 void SimEnv::send(Pid to, Message m) { rt_->env_send(self_, to, std::move(m)); }
-std::vector<Message> SimEnv::drain_inbox() { return rt_->env_drain(self_); }
+void SimEnv::drain_inbox(std::vector<Message>& out) { rt_->env_drain(self_, out); }
 RegId SimEnv::reg(RegKey key) { return rt_->env_reg(self_, key); }
 std::uint64_t SimEnv::read(RegId r) { return rt_->env_read(self_, r); }
 void SimEnv::write(RegId r, std::uint64_t v) { rt_->env_write(self_, r, v); }
@@ -33,6 +33,7 @@ bool SimEnv::stop_requested() const { return rt_->stop_requested_; }
 
 SimRuntime::SimRuntime(SimConfig config)
     : config_(std::move(config)),
+      backend_(config_.backend.value_or(default_sim_backend())),
       sched_rng_(config_.seed * 0x9e3779b97f4a7c15ULL + 1),
       link_rng_(config_.seed * 0xc2b2ae3d27d4eb4fULL + 2),
       pending_(config_.n()),
@@ -74,26 +75,25 @@ void SimRuntime::start() {
   started_ = true;
   runnable_.reserve(procs_.size());
   for (std::size_t i = 0; i < procs_.size(); ++i) {
-    procs_[i]->state = ProcState::kParked;
+    Proc* pr = procs_[i].get();
+    pr->state = ProcState::kParked;
     runnable_.push_back(i);
-    procs_[i]->thread = std::thread([this, i] { thread_main(i); });
+    // The wrapper is the whole process lifecycle — kill check, body,
+    // exception capture, finished flag — so every backend runs identical
+    // code and differs only in how control is transferred.
+    pr->exec = make_proc_exec(backend_, [pr] {
+      if (!pr->kill) {
+        try {
+          pr->body(*pr->env);
+        } catch (const ProcessKilled&) {
+          // Normal teardown path.
+        } catch (...) {
+          pr->error = std::current_exception();
+        }
+      }
+      pr->finished_flag = true;
+    });
   }
-}
-
-void SimRuntime::thread_main(std::size_t idx) {
-  Proc& pr = *procs_[idx];
-  pr.resume.acquire();
-  if (!pr.kill) {
-    try {
-      pr.body(*pr.env);
-    } catch (const ProcessKilled&) {
-      // Normal teardown path.
-    } catch (...) {
-      pr.error = std::current_exception();
-    }
-  }
-  pr.finished_flag = true;
-  pr.done.release();
 }
 
 void SimRuntime::shutdown() {
@@ -101,12 +101,12 @@ void SimRuntime::shutdown() {
   shut_down_ = true;
   if (started_) {
     for (auto& pr : procs_) {
-      if (!pr->finished_flag) {
-        pr->kill = true;
-        pr->resume.release();
-        pr->done.acquire();
-      }
-      if (pr->thread.joinable()) pr->thread.join();
+      // Drain to completion: each resume re-enters the body, whose next
+      // yield throws ProcessKilled and unwinds through the wrapper. Looping
+      // (rather than resuming once) tolerates bodies that swallow a kill.
+      pr->kill = true;
+      while (!pr->finished_flag) pr->exec->resume();
+      pr->exec->join();
     }
   }
 }
@@ -177,8 +177,7 @@ void SimRuntime::activate(std::size_t pick) {
   Proc& pr = *procs_[pick];
   ++metrics_.steps_by_proc[pick];
   trace_event(Pid{static_cast<std::uint32_t>(pick)}, TraceEvent::Kind::kSchedule);
-  pr.resume.release();
-  pr.done.acquire();
+  pr.exec->resume();
   if (pr.finished_flag) {
     pr.state = ProcState::kFinished;
     remove_runnable(pick);
@@ -293,8 +292,7 @@ void SimRuntime::rethrow_process_error() const {
 
 void SimRuntime::env_step(Pid self) {
   Proc& pr = *procs_[self.index()];
-  pr.done.release();
-  pr.resume.acquire();
+  pr.exec->yield();
   if (pr.kill) throw ProcessKilled{};
 }
 
@@ -340,11 +338,13 @@ void SimRuntime::deliver_eligible(Pid to) {
   }
 }
 
-std::vector<Message> SimRuntime::env_drain(Pid self) {
+void SimRuntime::env_drain(Pid self, std::vector<Message>& out) {
   deliver_eligible(self);
-  std::vector<Message> out;
-  out.swap(inbox_[self.index()]);
-  return out;
+  // Swap rather than copy: the caller's (cleared) buffer becomes the new
+  // inbox, so both sides keep their grown capacity across iterations and the
+  // steady-state drain allocates nothing.
+  out.clear();
+  std::swap(out, inbox_[self.index()]);
 }
 
 RegId SimRuntime::env_reg(Pid self, RegKey key) {

@@ -1,12 +1,14 @@
 // Deterministic cooperative simulator for the m&m model.
 //
-// Each process runs on its own OS thread but exactly one is ever runnable:
-// the scheduler and the running process hand execution back and forth
-// through a pair of binary semaphores. Algorithms therefore execute real
-// sequential C++ (no state-machine contortions) while the schedule — the
-// interleaving of steps, message delays, drops, partitions, and crashes — is
-// a pure function of (SimConfig.seed, config). Every test failure is
-// replayable from its seed.
+// Each process body is a suspended execution context — a userspace fiber by
+// default, a parked OS thread under the reference backend (see
+// runtime/exec_backend.hpp) — and exactly one of {scheduler, process} is
+// ever running: control is handed back and forth through ProcExec
+// resume()/yield(). Algorithms therefore execute real sequential C++ (no
+// state-machine contortions) while the schedule — the interleaving of steps,
+// message delays, drops, partitions, and crashes — is a pure function of
+// (SimConfig.seed, config), independent of the backend. Every test failure
+// is replayable from its seed.
 //
 // Adversary strength: by default every shared-register access yields to the
 // scheduler first (auto_step_on_shm), so interleavings are adversarial at
@@ -18,14 +20,13 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <semaphore>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "runtime/env.hpp"
+#include "runtime/exec_backend.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sim_config.hpp"
 
@@ -41,7 +42,8 @@ class SimEnv final : public Env {
   [[nodiscard]] Pid self() const override { return self_; }
   [[nodiscard]] std::size_t n() const override;
   void send(Pid to, Message m) override;
-  [[nodiscard]] std::vector<Message> drain_inbox() override;
+  using Env::drain_inbox;
+  void drain_inbox(std::vector<Message>& out) override;
   [[nodiscard]] RegId reg(RegKey key) override;
   [[nodiscard]] std::uint64_t read(RegId r) override;
   void write(RegId r, std::uint64_t v) override;
@@ -98,6 +100,15 @@ class SimRuntime {
   [[nodiscard]] Step now() const noexcept { return global_step_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  /// The execution backend this runtime resolved to (config override, else
+  /// the MM_SIM_BACKEND environment default).
+  [[nodiscard]] SimBackend backend() const noexcept { return backend_; }
+  /// Register values indexed by RegId — i.e. in creation order, which is
+  /// itself part of the deterministic trajectory. Differential-backend tests
+  /// compare this table verbatim.
+  [[nodiscard]] const std::vector<std::uint64_t>& register_values() const noexcept {
+    return reg_values_;
+  }
 
   /// Interleave at register-op granularity (default on; see header comment).
   void set_auto_step_on_shm(bool on) noexcept { auto_step_on_shm_ = on; }
@@ -126,6 +137,8 @@ class SimRuntime {
     Kind kind = Kind::kSchedule;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
+
+    friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
   };
 
   /// Keep the last `capacity` events (0 disables tracing, the default).
@@ -142,12 +155,10 @@ class SimRuntime {
   struct Proc {
     std::function<void(Env&)> body;
     std::unique_ptr<SimEnv> env;
-    std::binary_semaphore resume{0};
-    std::binary_semaphore done{0};
-    std::thread thread;
+    std::unique_ptr<ProcExec> exec;  ///< backend-specific execution context
     ProcState state = ProcState::kNew;
     bool kill = false;
-    bool finished_flag = false;  ///< set by the process wrapper before its last done.release()
+    bool finished_flag = false;  ///< set by the process wrapper before its final yield
     std::exception_ptr error;
     Step last_scheduled = 0;
   };
@@ -170,7 +181,6 @@ class SimRuntime {
     return a.deliver_at != b.deliver_at ? a.deliver_at > b.deliver_at : a.seq > b.seq;
   }
 
-  void thread_main(std::size_t idx);
   /// One scheduler step; returns false when no process is runnable.
   bool step_once();
   /// Hand one step to procs_[pick] and park again, bookkeeping included.
@@ -186,7 +196,7 @@ class SimRuntime {
   // Env backends (called from the running process thread; serialized by the
   // semaphore handoff, so no locking is needed).
   void env_send(Pid from, Pid to, Message m);
-  std::vector<Message> env_drain(Pid self);
+  void env_drain(Pid self, std::vector<Message>& out);
   RegId env_reg(Pid self, RegKey key);
   std::uint64_t env_read(Pid self, RegId r);
   void env_write(Pid self, RegId r, std::uint64_t v);
@@ -204,6 +214,7 @@ class SimRuntime {
   void trace_event_slow(Pid pid, TraceEvent::Kind kind, std::uint64_t a, std::uint64_t b);
 
   SimConfig config_;
+  SimBackend backend_;
   SchedulePolicy schedule_policy_;
   std::vector<std::unique_ptr<Proc>> procs_;
   /// Runnable pids in pid order, maintained incrementally (see

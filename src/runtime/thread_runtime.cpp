@@ -30,12 +30,11 @@ void ThreadEnv::send(Pid to, Message m) {
   rt_->counters_.msgs_delivered.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::vector<Message> ThreadEnv::drain_inbox() {
+void ThreadEnv::drain_inbox(std::vector<Message>& out) {
   ThreadRuntime::Mailbox& box = *rt_->mailboxes_[self_.index()];
   const std::scoped_lock lock{box.mutex};
-  std::vector<Message> out;
-  out.swap(box.messages);
-  return out;
+  out.clear();
+  std::swap(out, box.messages);
 }
 
 RegId ThreadEnv::reg(RegKey key) {

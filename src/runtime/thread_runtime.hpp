@@ -32,7 +32,8 @@ class ThreadEnv final : public Env {
   [[nodiscard]] Pid self() const override { return self_; }
   [[nodiscard]] std::size_t n() const override;
   void send(Pid to, Message m) override;
-  [[nodiscard]] std::vector<Message> drain_inbox() override;
+  using Env::drain_inbox;
+  void drain_inbox(std::vector<Message>& out) override;
   [[nodiscard]] RegId reg(RegKey key) override;
   [[nodiscard]] std::uint64_t read(RegId r) override;
   void write(RegId r, std::uint64_t v) override;
