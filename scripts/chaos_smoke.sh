@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Chaos smoke: proves the fault-injection campaign loop hasn't bit-rotted.
+#
+# Builds (or reuses) the tools/chaos driver, runs a small seeded safety
+# campaign (must find nothing), then a planted-termination campaign (the
+# deliberately false invariant) and replays every minimized repro it wrote —
+# the shrink → JSON → --replay round trip end to end. Wired into CTest under
+# the "chaos" label:
+#     ctest -L chaos
+#
+# Env:
+#   BUILD_DIR   build tree to use (default: build; configured if missing)
+#   MM_JOBS     trial-engine worker count (default: hardware concurrency)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$BUILD_DIR" -j --target chaos
+
+CHAOS="$BUILD_DIR/tools/chaos"
+OUT="$BUILD_DIR/chaos-smoke"
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+echo "== safety campaign (seed 11, 40 trials; any violation is a bug) =="
+"$CHAOS" campaign --seed 11 --trials 40 --out "$OUT"
+
+echo "== planted-termination campaign (seed 3, 60 trials) =="
+# The termination oracle is deliberately false under arbitrary fault
+# schedules; planted campaigns exit 0 with findings written as repro files.
+"$CHAOS" campaign --seed 3 --trials 60 --assert-termination --out "$OUT"
+
+repros=("$OUT"/chaos-repro-*.json)
+if [ -e "${repros[0]}" ]; then
+  echo "== replaying ${#repros[@]} minimized repro(s) =="
+  "$CHAOS" replay "${repros[@]}"
+else
+  # Determinism makes this stable per seed: seed 3 does produce findings
+  # today, so an empty directory means the generator or shrinker regressed.
+  echo "FAIL: planted campaign produced no repro files"
+  exit 1
+fi
+
+echo "chaos smoke OK"

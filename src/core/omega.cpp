@@ -138,6 +138,15 @@ void OmegaMM::iterate(Env& env, std::vector<Message>* foreign) {
 
   pump_messages(env, local, foreign);
 
+  // Transient memory windows (§6): a host whose memory failed may come back.
+  // Probe by re-attempting our STATE write; on success we can heartbeat
+  // again, so we rejoin contention at our real rank and neighbors re-adopt
+  // us through the normal notify path. Fault-free runs never enter here.
+  if (local.self_memory_dead &&
+      write_state(env, local.my_state, local.state[p.index()])) {
+    local.self_memory_dead = false;
+  }
+
   // Line 9: pick the contender with the smallest (badness, pid). A process
   // whose own memory failed ranks itself below every live contender: it
   // cannot prove liveness through heartbeats anymore.

@@ -103,6 +103,7 @@ ConsensusTrialResult run_consensus_trial(const ConsensusTrialConfig& cfg) {
     if (crash_set[p]) sim.crash_at[p] = rng.between(0, cfg.crash_window);
 
   SimRuntime rt{std::move(sim)};
+  if (cfg.injector != nullptr) rt.set_fault_injector(cfg.injector);
 
   std::vector<std::unique_ptr<HboConsensus>> hbos;
   std::vector<std::unique_ptr<BenOrConsensus>> benors;
@@ -190,6 +191,9 @@ TerminationSweep sweep_termination(ConsensusTrialConfig cfg, std::uint64_t trial
   // reduction below consumes results in seed order, which keeps every
   // aggregate — including the floating-point sums — bit-identical to the
   // sequential loop (and to MM_JOBS=1).
+  MM_ASSERT_MSG(cfg.injector == nullptr,
+                "sweeps share the config across parallel trials; a stateful injector "
+                "must be built per seed, not passed here");
   const std::uint64_t base_seed = cfg.seed;
   const auto results = exec::parallel_map(trials, [&cfg, base_seed](std::uint64_t t) {
     ConsensusTrialConfig c = cfg;
@@ -242,6 +246,7 @@ OmegaTrialResult run_omega_trial(const OmegaTrialConfig& cfg) {
   }
 
   SimRuntime rt{std::move(sim)};
+  if (cfg.injector != nullptr) rt.set_fault_injector(cfg.injector);
 
   std::vector<std::unique_ptr<OmegaMM>> mnms;
   std::vector<std::unique_ptr<OmegaMP>> mps;
@@ -355,6 +360,9 @@ OmegaTrialResult run_omega_trial(const OmegaTrialConfig& cfg) {
 
 std::vector<OmegaTrialResult> run_omega_trials(const OmegaTrialConfig& cfg,
                                                const std::vector<std::uint64_t>& seeds) {
+  MM_ASSERT_MSG(cfg.injector == nullptr,
+                "sweeps share the config across parallel trials; a stateful injector "
+                "must be built per seed, not passed here");
   return exec::parallel_map(seeds.size(), [&cfg, &seeds](std::uint64_t i) {
     OmegaTrialConfig c = cfg;
     c.seed = seeds[i];

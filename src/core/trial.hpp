@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/fault_hook.hpp"
 #include "runtime/sim_config.hpp"
 #include "shm/consensus_object.hpp"
 
@@ -61,6 +62,12 @@ struct ConsensusTrialConfig {
   /// MM_SIM_BACKEND, then the coroutine default). Trajectories are
   /// backend-invariant, so this only affects speed.
   std::optional<runtime::SimBackend> backend;
+
+  /// Reactive fault injector installed into the runtime for this run (see
+  /// runtime/fault_hook.hpp; non-owning, may be null). Injectors are
+  /// stateful per run, so sweeps — which copy this config per seed — require
+  /// it to be null; build a fresh engine inside the per-seed closure instead.
+  runtime::FaultInjector* injector = nullptr;
 };
 
 struct ConsensusTrialResult {
@@ -125,6 +132,9 @@ struct OmegaTrialConfig {
 
   /// Execution backend override; see ConsensusTrialConfig::backend.
   std::optional<runtime::SimBackend> backend;
+
+  /// Reactive fault injector; see ConsensusTrialConfig::injector.
+  runtime::FaultInjector* injector = nullptr;
 };
 
 struct OmegaTrialResult {

@@ -1,0 +1,380 @@
+#include "fault/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mm::fault {
+
+// ---------------------------------------------------------------------------
+// Construction (out of line — see the note in json.hpp)
+// ---------------------------------------------------------------------------
+
+Json::Json(Value v) : v_(std::move(v)) {}
+
+Json Json::boolean(bool b) { return Json{Value{b}}; }
+Json Json::uint(std::uint64_t u) { return Json{Value{u}}; }
+Json Json::number(double d) { return Json{Value{d}}; }
+Json Json::str(std::string s) { return Json{Value{std::move(s)}}; }
+Json Json::array() { return Json{Value{Array{}}}; }
+Json Json::object() { return Json{Value{Object{}}}; }
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&v_)) return *b;
+  throw JsonError{"expected a boolean"};
+}
+
+std::uint64_t Json::as_u64() const {
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&v_)) return *u;
+  if (const double* d = std::get_if<double>(&v_)) {
+    if (*d >= 0.0 && *d <= 0x1.0p63 && std::floor(*d) == *d)
+      return static_cast<std::uint64_t>(*d);
+  }
+  throw JsonError{"expected an unsigned integer"};
+}
+
+double Json::as_double() const {
+  if (const double* d = std::get_if<double>(&v_)) return *d;
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&v_))
+    return static_cast<double>(*u);
+  throw JsonError{"expected a number"};
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&v_)) return *s;
+  throw JsonError{"expected a string"};
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&v_)) return *a;
+  throw JsonError{"expected an array"};
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&v_)) return *o;
+  throw JsonError{"expected an object"};
+}
+
+void Json::push(Json v) {
+  if (Array* a = std::get_if<Array>(&v_)) {
+    a->push_back(std::move(v));
+    return;
+  }
+  throw JsonError{"push on a non-array"};
+}
+
+void Json::set(std::string key, Json v) {
+  if (Object* o = std::get_if<Object>(&v_)) {
+    for (auto& [k, existing] : *o) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    o->emplace_back(std::move(key), std::move(v));
+    return;
+  }
+  throw JsonError{"set on a non-object"};
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (const Object* o = std::get_if<Object>(&v_)) {
+    for (const auto& [k, v] : *o)
+      if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (const Json* v = find(key)) return *v;
+  throw JsonError{"missing key \"" + std::string{key} + "\""};
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(v_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&v_)) {
+    out += *b ? "true" : "false";
+  } else if (const std::uint64_t* u = std::get_if<std::uint64_t>(&v_)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, *u);
+    out += buf;
+  } else if (const double* d = std::get_if<double>(&v_)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", *d);
+    out += buf;
+  } else if (const std::string* s = std::get_if<std::string>(&v_)) {
+    append_escaped(out, *s);
+  } else if (const Array* a = std::get_if<Array>(&v_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i > 0) out += indent > 0 ? "," : ",";
+      newline_indent(out, indent, depth + 1);
+      (*a)[i].dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else if (const Object* o = std::get_if<Object>(&v_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < o->size(); ++i) {
+      if (i > 0) out += ',';
+      newline_indent(out, indent, depth + 1);
+      append_escaped(out, (*o)[i].first);
+      out += indent > 0 ? ": " : ":";
+      (*o)[i].second.dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) {
+    throw JsonError{std::string{why} + " at offset " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail("unexpected character");
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return Json::str(string());
+    if (consume_word("null")) return Json{};
+    if (consume_word("true")) return Json::boolean(true);
+    if (consume_word("false")) return Json::boolean(false);
+    return number();
+  }
+
+  Json object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    for (;;) {
+      arr.push(value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP codepoint (surrogate pairs are not needed
+          // by the repro format; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    bool is_integer = true;
+    if (consume('-')) is_integer = false;  // negatives parse as double
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token{text_.substr(start, pos_ - start)};
+    if (is_integer) {
+      errno = 0;
+      char* end = nullptr;
+      const std::uint64_t u = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) return Json::uint(u);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return Json::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser{text}.run(); }
+
+}  // namespace mm::fault

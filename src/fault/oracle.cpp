@@ -1,0 +1,60 @@
+#include "fault/oracle.hpp"
+
+namespace mm::fault {
+
+const char* to_string(Oracle o) noexcept {
+  switch (o) {
+    case Oracle::kAgreement: return "agreement";
+    case Oracle::kValidity: return "validity";
+    case Oracle::kTermination: return "termination";
+    case Oracle::kOmegaStabilizes: return "omega_stabilizes";
+    case Oracle::kLinearizable: return "linearizable";
+  }
+  return "?";
+}
+
+std::optional<Oracle> oracle_from_string(std::string_view s) noexcept {
+  for (auto o : {Oracle::kAgreement, Oracle::kValidity, Oracle::kTermination,
+                 Oracle::kOmegaStabilizes, Oracle::kLinearizable})
+    if (s == to_string(o)) return o;
+  return std::nullopt;
+}
+
+namespace {
+bool armed(const std::vector<Oracle>& oracles, Oracle o) {
+  for (const Oracle a : oracles)
+    if (a == o) return true;
+  return false;
+}
+}  // namespace
+
+std::optional<Violation> check_consensus(const core::ConsensusTrialResult& res,
+                                         const std::vector<Oracle>& armed_oracles) {
+  if (armed(armed_oracles, Oracle::kAgreement) && !res.agreement)
+    return Violation{Oracle::kAgreement, "two decided processes decided differently"};
+  if (armed(armed_oracles, Oracle::kValidity) && !res.validity)
+    return Violation{Oracle::kValidity, "a decision is not any process' input"};
+  if (armed(armed_oracles, Oracle::kTermination) && !res.all_correct_decided) {
+    return Violation{Oracle::kTermination,
+                     "not all correct processes decided within " +
+                         std::to_string(res.steps_used) + " steps"};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_omega(const core::OmegaTrialResult& res,
+                                     const std::vector<Oracle>& armed_oracles) {
+  if (armed(armed_oracles, Oracle::kOmegaStabilizes) && !res.stabilized)
+    return Violation{Oracle::kOmegaStabilizes,
+                     "no stable correct leader emerged within the budget"};
+  return std::nullopt;
+}
+
+std::optional<Violation> check_linearizable(const std::vector<check::RegOp>& history,
+                                            std::uint64_t initial) {
+  const check::LinCheck lc = check::check_swmr_atomic(history, initial);
+  if (lc.ok) return std::nullopt;
+  return Violation{Oracle::kLinearizable, lc.violation};
+}
+
+}  // namespace mm::fault

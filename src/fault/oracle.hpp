@@ -1,0 +1,50 @@
+// Invariant oracles: the shared "did the run violate a guarantee?" layer
+// used by the chaos campaign, the shrinker, and the e2e tests.
+//
+// Each oracle names one property the paper proves (or that the runtime
+// promises) and maps a trial result to pass/fail. Arming an oracle the run's
+// fault schedule can legitimately break — e.g. termination with more crashes
+// than the Theorem 4.3 bound — is how the planted-bug tests manufacture
+// violations on demand.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/linearizability.hpp"
+#include "core/trial.hpp"
+
+namespace mm::fault {
+
+enum class Oracle : std::uint8_t {
+  kAgreement,       ///< no two decided processes decide differently (§4)
+  kValidity,        ///< every decision is some process' input (§4)
+  kTermination,     ///< all correct processes decide within the step budget
+  kOmegaStabilizes, ///< Ω converges to one correct leader everywhere (§5)
+  kLinearizable,    ///< SWMR register history is atomic (runtime promise)
+};
+
+[[nodiscard]] const char* to_string(Oracle o) noexcept;
+[[nodiscard]] std::optional<Oracle> oracle_from_string(std::string_view s) noexcept;
+
+struct Violation {
+  Oracle oracle = Oracle::kAgreement;
+  std::string detail;
+};
+
+/// Evaluate the armed consensus oracles against one trial result; returns
+/// the first violation found (agreement before validity before termination).
+[[nodiscard]] std::optional<Violation> check_consensus(
+    const core::ConsensusTrialResult& res, const std::vector<Oracle>& armed);
+
+/// Evaluate the armed Ω oracles (only kOmegaStabilizes applies).
+[[nodiscard]] std::optional<Violation> check_omega(
+    const core::OmegaTrialResult& res, const std::vector<Oracle>& armed);
+
+/// Linearizability of a recorded SWMR history via the existing checker.
+[[nodiscard]] std::optional<Violation> check_linearizable(
+    const std::vector<check::RegOp>& history, std::uint64_t initial = 0);
+
+}  // namespace mm::fault

@@ -1,0 +1,43 @@
+// Reactive fault-injection hook.
+//
+// A FaultInjector observes the run from inside the scheduler — every step,
+// send, and register write — and may drive the runtime's dynamic fault
+// actuators (crash_now, fail_memory_now, set_partition_now, begin_link_burst,
+// revoke_timely) in response. This is how the chaos engine (src/fault/) turns
+// "crash p on its 5th broadcast" or "partition when round 3 starts" into
+// runtime behaviour while keeping the runtime itself free of any policy.
+//
+// Determinism contract: an injector must be a pure function of the events it
+// observes (no wall clock, no unseeded randomness), so an injected run stays
+// a pure function of (SimConfig, process bodies, injector) and replays from
+// its seed. The hooks run synchronously inside the scheduler/process handoff,
+// so no locking is needed.
+#pragma once
+
+#include "common/ids.hpp"
+#include "runtime/register_key.hpp"
+
+namespace mm::runtime {
+
+class SimRuntime;
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called at the top of every scheduler step, before crash plans are
+  /// applied and before the scheduling decision. Crashes injected here take
+  /// effect for this very step.
+  virtual void on_step(SimRuntime& rt) = 0;
+
+  /// Called when `from` sends a message, before drop/delay/partition
+  /// resolution — a link burst or partition opened here applies to this
+  /// message. Crashing `from` here takes effect at its next step boundary.
+  virtual void on_send(SimRuntime& rt, Pid from, Pid to) = 0;
+
+  /// Called when `writer` writes a register, before access checks — a
+  /// memory-failure window opened here makes this very write throw.
+  virtual void on_reg_write(SimRuntime& rt, Pid writer, RegKey key) = 0;
+};
+
+}  // namespace mm::runtime

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -12,6 +14,14 @@
 #include "runtime/exec_backend.hpp"
 
 namespace mm::runtime {
+
+/// Thrown by SimConfig::validate() (and the runtime constructors that call
+/// it) when a configuration is malformed. Distinct from MM_ASSERT so tests
+/// and tools can catch and report bad configs instead of aborting.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Link semantics (§3). Reliable = Integrity + No-loss. FairLossy =
 /// Integrity + Fair-loss, realised as i.i.d. Bernoulli drops: a message
@@ -23,6 +33,10 @@ enum class LinkType : std::uint8_t { kReliable, kFairLossy };
 /// after `until` (plus the normal delay). Reliability is preserved — this is
 /// pure asynchrony, which is exactly the adversary of Theorem 4.4: shared
 /// memory cannot be delayed, but messages can.
+///
+/// The mask form bounds partitions to n ≤ 64 (`side_a >> index` is UB at
+/// index ≥ 64); SimConfig::validate() rejects larger systems with a clear
+/// error instead of silently misclassifying traffic.
 struct Partition {
   std::uint64_t side_a = 0;
   Step from = 0;
@@ -67,6 +81,14 @@ struct SimConfig {
   /// while its process keeps running, and vice versa. Empty = no failures.
   std::vector<std::optional<Step>> memory_fail_at;
 
+  /// memory_recover_at[p]: global step at which p's failed memory comes back
+  /// — accesses from that step on succeed again and the registers resume
+  /// with the values they held when the window opened (unavailability, never
+  /// corruption). Requires memory_fail_at[p] < memory_recover_at[p]. Empty
+  /// (or nullopt per entry) = failures are permanent, the historical
+  /// behaviour.
+  std::vector<std::optional<Step>> memory_recover_at;
+
   /// Scheduling weights (default 1.0 each): the adversary picks the next
   /// process proportionally. Zero-weight processes are only scheduled if no
   /// positive-weight process is runnable.
@@ -80,6 +102,59 @@ struct SimConfig {
   Step timely_bound = 16;
 
   [[nodiscard]] std::size_t n() const noexcept { return gsm.size(); }
+
+  /// Full structural check, throwing ConfigError with a field-specific
+  /// message on the first problem. Both runtimes call this on construction;
+  /// nothing past it should ever have to re-validate (bad configs used to
+  /// fail silently or hit UB, e.g. partition masks shifted by ≥ 64).
+  void validate() const;
 };
+
+/// Link-model subset of the validation, shared with ThreadRuntime::Config
+/// (which has no delays, partitions, or plans).
+inline void validate_link(LinkType link_type, double drop_prob) {
+  if (!(drop_prob >= 0.0) || drop_prob >= 1.0)
+    throw ConfigError{"drop_prob must be in [0, 1): a message re-sent forever must "
+                      "have positive delivery probability"};
+  if (link_type == LinkType::kReliable && drop_prob != 0.0)
+    throw ConfigError{"drop_prob > 0 requires link_type = kFairLossy (reliable links "
+                      "never drop)"};
+}
+
+inline void SimConfig::validate() const {
+  const std::size_t procs = n();
+  if (procs < 1) throw ConfigError{"SimConfig needs at least one process (empty GSM)"};
+  validate_link(link_type, drop_prob);
+  if (min_delay > max_delay)
+    throw ConfigError{"min_delay must be <= max_delay"};
+  if (partition.has_value() && procs > 64)
+    throw ConfigError{"partition masks support at most 64 processes (side_a is a "
+                      "64-bit mask); split the run or drop the partition"};
+  auto check_arity = [procs](const auto& v, const char* what) {
+    if (!v.empty() && v.size() != procs)
+      throw ConfigError{std::string{what} + " must be empty or have exactly n entries"};
+  };
+  check_arity(crash_at, "crash_at");
+  check_arity(memory_fail_at, "memory_fail_at");
+  check_arity(memory_recover_at, "memory_recover_at");
+  check_arity(sched_weight, "sched_weight");
+  if (!memory_recover_at.empty()) {
+    if (memory_fail_at.empty())
+      throw ConfigError{"memory_recover_at without memory_fail_at"};
+    for (std::size_t p = 0; p < procs; ++p) {
+      if (!memory_recover_at[p].has_value()) continue;
+      if (!memory_fail_at[p].has_value() || *memory_fail_at[p] >= *memory_recover_at[p])
+        throw ConfigError{"memory window for p" + std::to_string(p) +
+                          " needs memory_fail_at < memory_recover_at"};
+    }
+  }
+  for (const double w : sched_weight)
+    if (!(w >= 0.0))
+      throw ConfigError{"sched_weight entries must be finite and >= 0"};
+  if (timely.has_value() && timely->index() >= procs)
+    throw ConfigError{"timely pid out of range"};
+  if (timely.has_value() && timely_bound == 0)
+    throw ConfigError{"timely_bound must be >= 1"};
+}
 
 }  // namespace mm::runtime

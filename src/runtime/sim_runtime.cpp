@@ -36,26 +36,28 @@ SimRuntime::SimRuntime(SimConfig config)
       backend_(config_.backend.value_or(default_sim_backend())),
       sched_rng_(config_.seed * 0x9e3779b97f4a7c15ULL + 1),
       link_rng_(config_.seed * 0xc2b2ae3d27d4eb4fULL + 2),
+      fault_rng_(config_.seed * 0xd6e8feb86659fd93ULL + 3),
+      mem_window_(config_.n()),
       pending_(config_.n()),
       inbox_(config_.n()),
       metrics_(config_.n()) {
-  MM_ASSERT_MSG(config_.n() >= 1, "need at least one process");
-  MM_ASSERT_MSG(config_.n() <= 64 || !config_.partition.has_value(),
-                "partition masks require n <= 64");
+  config_.validate();
   Rng seeder{config_.seed ^ 0xa5a5a5a5a5a5a5a5ULL};
   proc_rng_.reserve(config_.n());
   for (std::size_t i = 0; i < config_.n(); ++i) proc_rng_.push_back(seeder.split());
   if (!config_.crash_at.empty()) {
-    MM_ASSERT_MSG(config_.crash_at.size() == config_.n(), "crash plan arity");
     for (std::size_t i = 0; i < config_.crash_at.size(); ++i)
       if (config_.crash_at[i].has_value())
         crash_schedule_.emplace_back(*config_.crash_at[i], static_cast<std::uint32_t>(i));
     std::sort(crash_schedule_.begin(), crash_schedule_.end());
   }
-  if (!config_.memory_fail_at.empty())
-    MM_ASSERT_MSG(config_.memory_fail_at.size() == config_.n(), "memory-fail plan arity");
-  if (!config_.sched_weight.empty())
-    MM_ASSERT_MSG(config_.sched_weight.size() == config_.n(), "sched weight arity");
+  for (std::size_t i = 0; i < config_.memory_fail_at.size(); ++i) {
+    if (!config_.memory_fail_at[i].has_value()) continue;
+    mem_window_[i].fail_at = *config_.memory_fail_at[i];
+    if (i < config_.memory_recover_at.size() && config_.memory_recover_at[i].has_value())
+      mem_window_[i].recover_at = *config_.memory_recover_at[i];
+    mem_faults_armed_ = true;
+  }
 }
 
 SimRuntime::~SimRuntime() { shutdown(); }
@@ -144,6 +146,37 @@ void SimRuntime::crash_now(Pid p) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic fault actuators
+// ---------------------------------------------------------------------------
+
+void SimRuntime::fail_memory_now(Pid host, std::optional<Step> recover_at) {
+  MM_ASSERT(host.index() < config_.n());
+  MM_ASSERT_MSG(!recover_at.has_value() || *recover_at > global_step_,
+                "memory recovery must lie in the future");
+  mem_window_[host.index()] = MemWindow{global_step_, recover_at.value_or(kNever)};
+  mem_faults_armed_ = true;
+  trace_event(host, TraceEvent::Kind::kMemFail, recover_at.value_or(0));
+}
+
+void SimRuntime::recover_memory_now(Pid host) {
+  MM_ASSERT(host.index() < config_.n());
+  MemWindow& w = mem_window_[host.index()];
+  if (w.fail_at <= global_step_ && global_step_ < w.recover_at) {
+    w.recover_at = global_step_;
+    trace_event(host, TraceEvent::Kind::kMemRecover);
+  }
+}
+
+void SimRuntime::set_partition_now(std::uint64_t side_a, Step until) {
+  MM_ASSERT_MSG(config_.n() <= 64, "partition masks require n <= 64");
+  config_.partition = Partition{side_a, global_step_, until};
+}
+
+void SimRuntime::clear_partition_now() { config_.partition.reset(); }
+
+void SimRuntime::begin_link_burst(const LinkBurst& burst) { burst_ = burst; }
+
 void SimRuntime::enable_trace(std::size_t capacity) {
   trace_capacity_ = capacity;
   trace_.clear();
@@ -156,8 +189,8 @@ void SimRuntime::trace_event_slow(Pid pid, TraceEvent::Kind kind, std::uint64_t 
 }
 
 std::string SimRuntime::dump_trace(std::size_t last_n) const {
-  static constexpr const char* kNames[] = {"sched", "send ", "deliv", "drop ",
-                                           "read ", "write", "cas  ", "crash"};
+  static constexpr const char* kNames[] = {"sched", "send ", "deliv", "drop ", "read ",
+                                           "write", "cas  ", "crash", "mfail", "mrecv"};
   std::string out;
   const std::size_t start = trace_.size() > last_n ? trace_.size() - last_n : 0;
   char line[128];
@@ -186,6 +219,8 @@ void SimRuntime::activate(std::size_t pick) {
 }
 
 bool SimRuntime::step_once() {
+  if (injector_ != nullptr) [[unlikely]]
+    injector_->on_step(*this);
   apply_crash_plan();
   if (runnable_.empty()) return false;
 
@@ -300,8 +335,27 @@ void SimRuntime::maybe_auto_step(Pid self) {
   if (auto_step_on_shm_) env_step(self);
 }
 
+Step SimRuntime::partition_hold(Pid from, Pid to, Step deliver_at, Rng& rng) {
+  if (!config_.partition.has_value()) return deliver_at;
+  const Partition& part = *config_.partition;
+  // A message crossing the partition during its window is held until the
+  // window closes: pure extra asynchrony, never a loss.
+  if (part.crosses(from, to) && global_step_ < part.until && deliver_at >= part.from) {
+    deliver_at = part.until + rng.between(config_.min_delay, config_.max_delay);
+  }
+  return deliver_at;
+}
+
+void SimRuntime::enqueue_message(Pid to, Step deliver_at, Message m) {
+  auto& pend = pending_[to.index()];
+  pend.push_back(InFlight{deliver_at, send_seq_++, std::move(m)});
+  std::push_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+}
+
 void SimRuntime::env_send(Pid from, Pid to, Message m) {
   MM_ASSERT(to.index() < config_.n());
+  if (injector_ != nullptr) [[unlikely]]
+    injector_->on_send(*this, from, to);
   ++metrics_.msgs_sent;
   ++metrics_.sends_by_proc[from.index()];
   if (config_.link_type == LinkType::kFairLossy && link_rng_.bernoulli(config_.drop_prob)) {
@@ -309,20 +363,30 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
     trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
     return;
   }
+  // Injected burst hostility (drops / delay spikes / duplicates) draws from
+  // the dedicated fault stream; outside a burst window this block is free
+  // and burst-free runs stay bit-identical.
+  const bool burst = global_step_ < burst_.until;
+  if (burst && fault_rng_.bernoulli(burst_.drop_prob)) {
+    ++metrics_.msgs_dropped;
+    trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
+    return;
+  }
   trace_event(from, TraceEvent::Kind::kSend, to.value(), m.kind);
   m.from = from;
   Step deliver_at = global_step_ + link_rng_.between(config_.min_delay, config_.max_delay);
-  if (config_.partition.has_value()) {
-    const Partition& part = *config_.partition;
-    // A message crossing the partition during its window is held until the
-    // window closes: pure extra asynchrony, never a loss.
-    if (part.crosses(from, to) && global_step_ < part.until && deliver_at >= part.from) {
-      deliver_at = part.until + link_rng_.between(config_.min_delay, config_.max_delay);
-    }
+  if (burst && burst_.extra_delay_max > 0)
+    deliver_at += fault_rng_.between(0, burst_.extra_delay_max);
+  deliver_at = partition_hold(from, to, deliver_at, link_rng_);
+  if (burst && fault_rng_.bernoulli(burst_.dup_prob)) {
+    // Link-level duplication: the copy travels independently (own delay,
+    // own partition hold) and is not counted as a send by `from`.
+    Step dup_at = global_step_ + fault_rng_.between(config_.min_delay, config_.max_delay);
+    if (burst_.extra_delay_max > 0) dup_at += fault_rng_.between(0, burst_.extra_delay_max);
+    dup_at = partition_hold(from, to, dup_at, fault_rng_);
+    enqueue_message(to, dup_at, m);
   }
-  auto& pend = pending_[to.index()];
-  pend.push_back(InFlight{deliver_at, send_seq_++, std::move(m)});
-  std::push_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+  enqueue_message(to, deliver_at, std::move(m));
 }
 
 void SimRuntime::deliver_eligible(Pid to) {
@@ -353,6 +417,7 @@ RegId SimRuntime::env_reg(Pid self, RegKey key) {
     const auto idx = static_cast<std::uint32_t>(reg_values_.size());
     reg_values_.push_back(0);
     reg_meta_.push_back(RegMeta{key.owner(), key.is_global()});
+    reg_keys_.push_back(key);
     it = reg_index_.emplace(key, idx).first;
   }
   const RegId r{it->second};
@@ -360,15 +425,23 @@ RegId SimRuntime::env_reg(Pid self, RegKey key) {
   return r;
 }
 
-void SimRuntime::check_register_access(Pid accessor, RegId r) const {
+void SimRuntime::check_memory_alive(RegId r) const {
   MM_ASSERT(r.index() < reg_meta_.size());
   const RegMeta& meta = reg_meta_[r.index()];
-  if (!meta.global && !config_.memory_fail_at.empty()) {
-    const auto& fail = config_.memory_fail_at[meta.owner.index()];
-    if (fail.has_value() && *fail <= global_step_) {
+  if (!meta.global && mem_faults_armed_) {
+    const MemWindow& w = mem_window_[meta.owner.index()];
+    if (w.fail_at <= global_step_ && global_step_ < w.recover_at) {
       throw MemoryFailure{"memory hosted at " + to_string(meta.owner) + " has failed"};
     }
   }
+}
+
+void SimRuntime::check_register_access(Pid accessor, RegId r) const {
+  // Domain (GSM) check only: naming a register via env.reg() must stay
+  // legal during a memory-failure window — availability is checked per
+  // access by check_memory_alive, matching the thread runtime's split.
+  MM_ASSERT(r.index() < reg_meta_.size());
+  const RegMeta& meta = reg_meta_[r.index()];
   if (meta.global || accessor == meta.owner) return;
   MM_ASSERT_MSG(meta.owner.index() < config_.n(), "register owner out of range");
   if (!config_.gsm.has_edge(accessor, meta.owner)) {
@@ -380,6 +453,7 @@ void SimRuntime::check_register_access(Pid accessor, RegId r) const {
 std::uint64_t SimRuntime::env_read(Pid self, RegId r) {
   maybe_auto_step(self);
   check_register_access(self, r);
+  check_memory_alive(r);
   ++metrics_.reg_reads;
   ++metrics_.reads_by_proc[self.index()];
   if (reg_meta_[r.index()].owner == self) {
@@ -393,7 +467,10 @@ std::uint64_t SimRuntime::env_read(Pid self, RegId r) {
 
 void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
   maybe_auto_step(self);
+  if (injector_ != nullptr) [[unlikely]]
+    injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
   check_register_access(self, r);
+  check_memory_alive(r);
   ++metrics_.reg_writes;
   ++metrics_.writes_by_proc[self.index()];
   if (reg_meta_[r.index()].owner == self) {
@@ -408,7 +485,12 @@ void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
 std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
                                   std::uint64_t desired) {
   maybe_auto_step(self);
+  // A CAS is a write-class mutation: fault rules keyed on register writes
+  // (kOnFirstWrite / kOnRoundEntry) must see CAS-based object protocols too.
+  if (injector_ != nullptr) [[unlikely]]
+    injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
   check_register_access(self, r);
+  check_memory_alive(r);
   ++metrics_.reg_cas_ops;
   trace_event(self, TraceEvent::Kind::kRegCas, r.value(), reg_values_[r.index()]);
   const std::uint64_t old = reg_values_[r.index()];

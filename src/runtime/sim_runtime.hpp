@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "runtime/env.hpp"
 #include "runtime/exec_backend.hpp"
+#include "runtime/fault_hook.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sim_config.hpp"
 
@@ -90,6 +91,48 @@ class SimRuntime {
   /// Cooperative stop flag, visible through Env::stop_requested().
   void request_stop() { stop_requested_ = true; }
 
+  // -- dynamic fault actuators (reactive injection; see fault_hook.hpp) ------
+  // All of these may be called between run chunks or from FaultInjector
+  // hooks mid-run; each takes effect immediately and is part of the
+  // deterministic trajectory (any randomness they introduce is drawn from a
+  // dedicated seeded fault stream that fault-free runs never touch).
+
+  /// Open a memory-failure window for the registers hosted at `host`,
+  /// starting now. Accesses throw MemoryFailure until `recover_at` (nullopt
+  /// = permanent, the memory_fail_at semantics); values survive the window.
+  void fail_memory_now(Pid host, std::optional<Step> recover_at = std::nullopt);
+  /// Close `host`'s memory-failure window now (idempotent).
+  void recover_memory_now(Pid host);
+  /// Install a partition with the given mask from now until `until`,
+  /// replacing any configured one. Requires n <= 64.
+  void set_partition_now(std::uint64_t side_a, Step until);
+  /// Remove the active partition (configured or injected).
+  void clear_partition_now();
+
+  /// A bounded window of extra link hostility: while `global step < until`,
+  /// each sent message is independently dropped with `drop_prob`, duplicated
+  /// with `dup_prob` (the copy gets its own delay), and delayed by an extra
+  /// uniform draw from [0, extra_delay_max]. Draws come from the fault RNG
+  /// stream, so burst-free traffic is untouched. Applies on top of the
+  /// configured link model, to reliable links too — callers asserting
+  /// no-loss invariants should not arm drops on reliable-link runs.
+  struct LinkBurst {
+    Step until = 0;
+    double drop_prob = 0.0;
+    double dup_prob = 0.0;
+    Step extra_delay_max = 0;
+  };
+  void begin_link_burst(const LinkBurst& burst);
+
+  /// Revoke the §3 timeliness guarantee from now on: the timely process
+  /// becomes an ordinary weighted pick (the adversary Theorem 5.2 forbids).
+  void revoke_timely() { config_.timely.reset(); }
+
+  /// Install a reactive fault injector (non-owning; must outlive the run).
+  /// Null detaches. Fault-free runs (no injector, no actuator calls) are
+  /// bit-identical to runs before this hook existed.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   [[nodiscard]] bool finished(Pid p) const;
   [[nodiscard]] bool crashed(Pid p) const;
   [[nodiscard]] bool all_done() const;
@@ -127,10 +170,12 @@ class SimRuntime {
       kSend,      ///< a = destination pid, b = message kind
       kDeliver,   ///< a = destination pid, b = message kind (pid = sender)
       kDrop,      ///< a = destination pid, b = message kind (fair-lossy)
-      kRegRead,   ///< a = register index, b = value read
-      kRegWrite,  ///< a = register index, b = value written
-      kRegCas,    ///< a = register index, b = value observed
-      kCrash,     ///< pid crashed
+      kRegRead,    ///< a = register index, b = value read
+      kRegWrite,   ///< a = register index, b = value written
+      kRegCas,     ///< a = register index, b = value observed
+      kCrash,      ///< pid crashed
+      kMemFail,    ///< pid = host whose memory failed, a = recover step (0 = never)
+      kMemRecover, ///< pid = host whose memory recovered
     };
     Step step = 0;
     Pid pid;
@@ -168,6 +213,16 @@ class SimRuntime {
     bool global = false;
   };
 
+  /// Memory-failure window for one host: failed while
+  /// `fail_at <= global step < recover_at` (kNever = unbounded end / never
+  /// opened). Built from the config plans; reopened/closed dynamically by
+  /// fail_memory_now / recover_memory_now.
+  static constexpr Step kNever = ~Step{0};
+  struct MemWindow {
+    Step fail_at = kNever;
+    Step recover_at = kNever;
+  };
+
   struct InFlight {
     Step deliver_at;
     std::uint64_t seq;
@@ -191,7 +246,16 @@ class SimRuntime {
   void remove_runnable(std::size_t idx);
   void apply_crash_plan();
   void check_register_access(Pid accessor, RegId r) const;
+  /// Throws MemoryFailure while r's host is inside a failure window. Split
+  /// from check_register_access so env_reg (naming) stays available during
+  /// the window — mirrors the thread runtime's check_memory_alive.
+  void check_memory_alive(RegId r) const;
   void deliver_eligible(Pid to);
+  /// Apply the partition hold rule to a tentative delivery step; re-draws
+  /// the post-window delay from `rng` (the link stream for originals, the
+  /// fault stream for injected duplicates).
+  [[nodiscard]] Step partition_hold(Pid from, Pid to, Step deliver_at, Rng& rng);
+  void enqueue_message(Pid to, Step deliver_at, Message m);
 
   // Env backends (called from the running process thread; serialized by the
   // semaphore handoff, so no locking is needed).
@@ -216,6 +280,7 @@ class SimRuntime {
   SimConfig config_;
   SimBackend backend_;
   SchedulePolicy schedule_policy_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Proc>> procs_;
   /// Runnable pids in pid order, maintained incrementally (see
   /// remove_runnable) instead of being rebuilt by scanning every step.
@@ -236,12 +301,23 @@ class SimRuntime {
 
   Rng sched_rng_;
   Rng link_rng_;
+  /// Dedicated stream for injected-fault randomness (burst drops, duplicate
+  /// delays). Never drawn from unless a burst is active, so fault-free
+  /// trajectories are unchanged by its existence.
+  Rng fault_rng_;
   std::vector<Rng> proc_rng_;
+
+  /// Per-host memory-failure windows; mem_faults_armed_ keeps the fault-free
+  /// register hot path to a single predictable branch.
+  std::vector<MemWindow> mem_window_;
+  bool mem_faults_armed_ = false;
+  LinkBurst burst_;
 
   // Register table.
   std::unordered_map<RegKey, std::uint32_t> reg_index_;
   std::vector<std::uint64_t> reg_values_;
   std::vector<RegMeta> reg_meta_;
+  std::vector<RegKey> reg_keys_;  ///< creation-order keys, for injector hooks
 
   // Per-destination pending messages: a binary min-heap on (deliver_at, seq)
   // (see delivers_later); inbox of already-delivered messages awaiting drain.

@@ -107,7 +107,8 @@ bool ThreadEnv::stop_requested() const {
 // ---------------------------------------------------------------------------
 
 ThreadRuntime::ThreadRuntime(Config config) : config_(std::move(config)) {
-  MM_ASSERT_MSG(config_.n() >= 1, "need at least one process");
+  if (config_.n() < 1) throw ConfigError{"ThreadRuntime needs at least one process"};
+  validate_link(config_.link_type, config_.drop_prob);
   Rng seeder{config_.seed ^ 0x5a5a5a5a5a5a5a5aULL};
   for (std::size_t i = 0; i < config_.n(); ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());

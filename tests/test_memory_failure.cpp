@@ -47,6 +47,67 @@ TEST(MemoryFailureRuntime, AccessThrowsAfterFailStep) {
   EXPECT_TRUE(after_threw);
 }
 
+TEST(MemoryFailureRuntime, TransientWindowThrowsInsideRecoversAfter) {
+  // memory_fail_at + memory_recover_at describe a *window*: accesses throw
+  // inside it, and afterwards the register is reachable again with its
+  // pre-failure value intact (unavailability, never corruption).
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 4;
+  cfg.memory_fail_at = {std::optional<Step>{50}, std::nullopt};
+  cfg.memory_recover_at = {std::optional<Step>{200}, std::nullopt};
+  SimRuntime rt{cfg};
+  bool inside_threw = false, after_ok = false;
+  rt.add_process([&](Env& env) {
+    const RegId r = env.reg(RegKey::make(core::kTagState, Pid{0}));
+    env.write(r, 7);
+    while (env.now() < 100) env.step();
+    try {
+      (void)env.read(r);
+    } catch (const MemoryFailure&) {
+      inside_threw = true;
+    }
+    while (env.now() < 250) env.step();
+    after_ok = env.read(r) == 7;  // value survived the outage
+  });
+  rt.add_process([](Env&) {});
+  rt.run_until_all_done(10'000);
+  rt.rethrow_process_error();
+  EXPECT_TRUE(inside_threw);
+  EXPECT_TRUE(after_ok);
+}
+
+TEST(MemoryFailureRuntime, DynamicFailAndRecoverActuators) {
+  // The injector-facing actuators drive the same window machinery at
+  // arbitrary points mid-run.
+  SimConfig cfg;
+  cfg.gsm = graph::complete(2);
+  cfg.seed = 5;
+  SimRuntime rt{cfg};
+  bool threw = false, recovered = false;
+  rt.add_process([&](Env& env) {
+    const RegId r = env.reg(RegKey::make(core::kTagState, Pid{0}));
+    env.write(r, 3);
+    while (env.now() < 100) env.step();
+    try {
+      (void)env.read(r);
+    } catch (const MemoryFailure&) {
+      threw = true;
+    }
+    while (env.now() < 300) env.step();
+    recovered = env.read(r) == 3;
+  });
+  rt.add_process([](Env&) {});
+  rt.run_steps(50);
+  rt.fail_memory_now(Pid{0});
+  rt.run_steps(150);
+  rt.recover_memory_now(Pid{0});
+  rt.run_until_all_done(10'000);
+  rt.rethrow_process_error();
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(recovered);
+}
+
 TEST(MemoryFailureRuntime, OtherHostsUnaffected) {
   SimConfig cfg;
   cfg.gsm = graph::complete(3);
@@ -193,6 +254,44 @@ TEST(HboMemoryFailure, TotalMemoryLossDegradesToBenOr) {
   EXPECT_FALSE(res.all_correct_decided);
 }
 
+TEST(HboMemoryFailure, TransientMinorityLossStaysLiveAndDecides) {
+  // A minority of hosts (1 of 4) loses its memory transiently from step 0.
+  // HBO skips the unavailable host's consensus objects, the remaining 3
+  // still form a represented majority, and every process — including the
+  // one whose memory failed — decides. (Total transient loss would NOT
+  // recover: each phase's tuple-bearing message is built exactly once, so
+  // all-empty round-1 messages block await_majority forever. That matches
+  // the paper's standing minority-of-memories assumption.)
+  const graph::Graph g = graph::complete(4);
+  const std::size_t n = g.size();
+  SimConfig sim;
+  sim.gsm = g;
+  sim.seed = 7;
+  sim.memory_fail_at.assign(n, std::nullopt);
+  sim.memory_recover_at.assign(n, std::nullopt);
+  sim.memory_fail_at[3] = Step{0};
+  sim.memory_recover_at[3] = Step{5'000};
+  SimRuntime rt{std::move(sim)};
+  const std::vector<std::uint32_t> inputs{0, 1, 0, 1};
+  std::vector<std::unique_ptr<core::HboConsensus>> algs;
+  for (std::size_t p = 0; p < n; ++p) {
+    core::HboConsensus::Config hc;
+    hc.gsm = &g;
+    algs.push_back(std::make_unique<core::HboConsensus>(hc, inputs[p]));
+    rt.add_process([alg = algs.back().get()](Env& env) { alg->run(env); });
+  }
+  rt.run_until_all_done(4'000'000);
+  rt.shutdown();
+  rt.rethrow_process_error();
+  std::optional<std::uint32_t> decision;
+  for (std::size_t p = 0; p < n; ++p) {
+    const int d = algs[p]->decision();
+    ASSERT_GE(d, 0) << "p" << p << " did not decide under minority memory loss";
+    if (!decision) decision = static_cast<std::uint32_t>(d);
+    EXPECT_EQ(static_cast<std::uint32_t>(d), *decision);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Ω under partial memory failure (message-notification variant)
 // ---------------------------------------------------------------------------
@@ -224,6 +323,51 @@ TEST(OmegaMemoryFailure, ReelectsWhenLeadersMemoryDies) {
   }
   rt.shutdown();
   EXPECT_TRUE(converged) << "no post-memory-failure leader agreement";
+}
+
+TEST(OmegaMemoryFailure, ReadoptsRecoveredHost) {
+  // p0 leads, loses its memory for a window, and comes back: the recovery
+  // probe lets p0 heartbeat again, it re-claims contention at its true rank
+  // (smallest pid), and every process re-adopts it as leader.
+  const std::size_t n = 4;
+  SimConfig sim;
+  sim.gsm = graph::complete(n);
+  sim.seed = 13;
+  sim.memory_fail_at.assign(n, std::nullopt);
+  sim.memory_recover_at.assign(n, std::nullopt);
+  sim.memory_fail_at[0] = 20'000;
+  sim.memory_recover_at[0] = 60'000;
+  SimRuntime rt{std::move(sim)};
+  std::vector<std::unique_ptr<core::OmegaMM>> nodes;
+  for (std::size_t p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<core::OmegaMM>(core::OmegaMM::Config{}));
+    rt.add_process([node = nodes.back().get()](Env& env) { node->run(env); });
+  }
+  // During the outage the others must move off p0...
+  bool moved_away = false;
+  for (int chunk = 0; chunk < 200 && !moved_away; ++chunk) {
+    rt.run_steps(2'000);
+    rt.rethrow_process_error();
+    if (rt.now() < 30'000) continue;
+    if (rt.now() >= 58'000) break;  // window about to close
+    Pid agreed = nodes[1]->leader();
+    moved_away = !agreed.is_none() && agreed != Pid{0};
+    for (std::size_t p = 2; p < n && moved_away; ++p)
+      moved_away = nodes[p]->leader() == agreed;
+  }
+  EXPECT_TRUE(moved_away) << "others never evicted the failed-memory leader";
+  // ...and after recovery everyone must converge back onto p0.
+  bool readopted = false;
+  for (int chunk = 0; chunk < 400 && !readopted; ++chunk) {
+    rt.run_steps(2'000);
+    rt.rethrow_process_error();
+    if (rt.now() < 80'000) continue;
+    readopted = true;
+    for (std::size_t p = 0; p < n && readopted; ++p)
+      readopted = nodes[p]->leader() == Pid{0};
+  }
+  rt.shutdown();
+  EXPECT_TRUE(readopted) << "recovered host was never re-adopted as leader";
 }
 
 }  // namespace

@@ -471,5 +471,86 @@ TEST(SimRuntime, AutoStepInterleavesRegisterOps) {
   EXPECT_GT(final_value, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// SimConfig::validate — malformed configs fail loudly at construction
+// ---------------------------------------------------------------------------
+
+TEST(SimConfigValidate, AcceptsTheDefaults) {
+  EXPECT_NO_THROW(base_config(4).validate());
+}
+
+TEST(SimConfigValidate, RejectsBadLinkModels) {
+  SimConfig cfg = base_config(4);
+  cfg.drop_prob = 0.5;  // nonzero drop on reliable links
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.link_type = LinkType::kFairLossy;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.drop_prob = 1.0;  // nothing would ever arrive
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.drop_prob = -0.1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(SimConfigValidate, RejectsInvertedDelayBounds) {
+  SimConfig cfg = base_config(4);
+  cfg.min_delay = 9;
+  cfg.max_delay = 3;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(SimConfigValidate, RejectsPartitionBeyondMaskWidth) {
+  // Partition::side_a is a 64-bit mask; n > 64 would shift out of range
+  // (UB before this guard existed).
+  SimConfig cfg;
+  cfg.gsm = graph::edgeless(65);
+  cfg.partition = Partition{0b1, 0, 1'000};
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.partition.reset();
+  EXPECT_NO_THROW(cfg.validate());  // 65 processes without a partition: fine
+}
+
+TEST(SimConfigValidate, RejectsWrongArityPlans) {
+  SimConfig cfg = base_config(4);
+  cfg.crash_at.assign(3, std::nullopt);  // 3 entries for n = 4
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.crash_at.clear();
+  cfg.memory_fail_at.assign(5, std::nullopt);
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(SimConfigValidate, RejectsBadMemoryWindows) {
+  SimConfig cfg = base_config(2);
+  // Recovery without a failure plan.
+  cfg.memory_recover_at.assign(2, std::nullopt);
+  cfg.memory_recover_at[0] = 100;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  // Recovery at/before the failure step.
+  cfg.memory_fail_at.assign(2, std::nullopt);
+  cfg.memory_fail_at[0] = 100;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.memory_fail_at[0] = 50;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SimConfigValidate, RejectsBadTimelinessAndWeights) {
+  SimConfig cfg = base_config(4);
+  cfg.timely = Pid{4};  // out of range
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.timely = Pid{0};
+  cfg.timely_bound = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.timely_bound = 8;
+  cfg.sched_weight.assign(4, 1.0);
+  cfg.sched_weight[2] = -1.0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(SimConfigValidate, RuntimeConstructorValidates) {
+  SimConfig cfg = base_config(3);
+  cfg.min_delay = 5;
+  cfg.max_delay = 2;
+  EXPECT_THROW(SimRuntime{cfg}, ConfigError);
+}
+
 }  // namespace
 }  // namespace mm::runtime

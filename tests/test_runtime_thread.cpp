@@ -215,5 +215,17 @@ TEST(ThreadRuntime, MetricsSnapshotPerProc) {
   EXPECT_EQ(m.sends_by_proc[0], 1u);
 }
 
+TEST(ThreadRuntime, ConstructorValidatesLinkModel) {
+  // Both runtimes validate their config at construction; the thread runtime
+  // shares the link-model subset of SimConfig::validate().
+  ThreadRuntime::Config cfg = base_config(2);
+  cfg.drop_prob = 0.3;  // nonzero drop on reliable links
+  EXPECT_THROW(ThreadRuntime{cfg}, ConfigError);
+  cfg.link_type = LinkType::kFairLossy;
+  EXPECT_NO_THROW(ThreadRuntime{cfg});
+  ThreadRuntime::Config empty;
+  EXPECT_THROW(ThreadRuntime{empty}, ConfigError);
+}
+
 }  // namespace
 }  // namespace mm::runtime
