@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Explore smoke: proves the model checker hasn't bit-rotted.
+#
+# Builds (or reuses) the tools/check driver, then:
+#   1. `check run all` — every clean instance must verify clean and exhaust,
+#      every planted-bug instance must produce its violation;
+#   2. `check diff all` — the differential oracle: naive DFS and DPOR must
+#      reach the same verdict AND the same reachable final-state set on every
+#      DFS-feasible instance, with DPOR using no more replays;
+#   3. a frontier determinism spot check — the parallel frontier at 1 and 4
+#      workers must report byte-identical results.
+# Wired into CTest under the "explore" label:
+#     ctest -L explore
+#
+# Env:
+#   BUILD_DIR   build tree to use (default: build; configured if missing)
+#   MM_JOBS     frontier worker count default (the spot check overrides it)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$BUILD_DIR" -j --target check
+
+CHECK="$BUILD_DIR/tools/check"
+
+echo "== run all instances (DPOR; clean must exhaust, planted must trip) =="
+"$CHECK" run all
+
+echo "== differential: naive DFS vs DPOR on every DFS-feasible instance =="
+"$CHECK" diff all
+
+echo "== frontier determinism: hbo3-crash at 1 vs 4 workers =="
+one=$("$CHECK" run hbo3-crash --frontier 3 --jobs 1)
+four=$("$CHECK" run hbo3-crash --frontier 3 --jobs 4)
+if [ "$one" != "$four" ]; then
+  echo "FAIL: frontier results differ across worker counts"
+  diff <(echo "$one") <(echo "$four") || true
+  exit 1
+fi
+echo "$four"
+
+echo "explore smoke OK"

@@ -1,0 +1,694 @@
+#include "check/dpor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "exec/parallel_map.hpp"
+
+namespace mm::check {
+
+using runtime::ConfigError;
+using runtime::footprints_dependent;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+using runtime::StateHash;
+using runtime::StepFootprint;
+
+void validate_explorable(const SimConfig& config) {
+  if (config.n() > 64)
+    throw ConfigError{"explorer requires n <= 64 (process sets are 64-bit masks)"};
+  if (config.link_type != runtime::LinkType::kReliable)
+    throw ConfigError{"explorer requires reliable links: lossy links draw from the "
+                      "link stream in send order, entangling independent sends"};
+  if (config.min_delay != config.max_delay || config.max_delay > 1)
+    throw ConfigError{"explorer requires a fixed message delay of 0 or 1 "
+                      "(min_delay == max_delay <= 1): variable delays consume link "
+                      "randomness in send order, and a delay >= 2 breaks the "
+                      "commutation of a send with an unrelated step (the relative "
+                      "delay left after the pair differs between orders)"};
+  if (config.partition.has_value())
+    throw ConfigError{"explorer does not support partitions (delivery windows make "
+                      "every send clock-dependent)"};
+  for (const auto& f : config.memory_fail_at)
+    if (f.has_value())
+      throw ConfigError{"explorer does not support memory-failure plans (windows are "
+                        "clock-indexed)"};
+  for (const auto& c : config.crash_at)
+    if (c.has_value() && *c != 0)
+      throw ConfigError{"explorer supports crashes only at step 0 (initially-dead "
+                        "processes): a crash at step t makes every step before t "
+                        "dependent on the clock"};
+}
+
+namespace {
+
+constexpr std::uint64_t pid_bit(Pid p) noexcept { return 1ULL << p.index(); }
+
+/// A process asleep for the current branch, with the footprint of the step
+/// it performed when its branch was explored (needed to decide what wakes
+/// it).
+struct SleepEntry {
+  Pid pid;
+  StepFootprint step;
+};
+
+/// One decision point on the exploration stack.
+struct Node {
+  StateHash state{};
+  std::vector<Pid> enabled;  ///< runnable pids at this point, pid order
+  std::uint64_t enabled_mask = 0;
+  std::uint64_t backtrack_mask = 0;  ///< pids the race scan demands we try
+  std::uint64_t done_mask = 0;       ///< pids whose branches are fully explored
+  std::uint64_t sleep_entry_mask = 0;
+  std::vector<SleepEntry> slept_siblings;  ///< retired branches (sleep for later ones)
+  Pid chosen = Pid::none();
+  bool forced = false;  ///< preemption bound collapsed this decision (degree 1)
+  Pid previous = Pid::none();      ///< pid running before this decision
+  std::uint32_t preempt_used = 0;  ///< preemptions consumed before this decision
+  StepFootprint step;              ///< footprint of executing `chosen` (this branch)
+  std::vector<StepFootprint> agg;  ///< per-pid union over the explored subtree
+  bool has_cache_entry = false;
+  std::size_t cache_slot = 0;
+};
+
+struct CacheEntry {
+  std::uint64_t sleep_mask = 0;
+  Pid previous = Pid::none();
+  std::uint32_t preempt_used = 0;
+  bool open = true;  ///< the owning node is still on the exploration stack
+  std::vector<StepFootprint> agg;  ///< valid when closed
+};
+
+/// Thrown out of the schedule policy to abandon a replay the explorer has
+/// proven redundant. Unwinds cleanly: the policy runs in scheduler context
+/// (no fiber is live) and propagates out of run_until_all_done.
+struct AbortRun {
+  enum class Why : std::uint8_t { kSleepBlocked, kCacheHit } why;
+  /// Closed-entry aggregate to replay as pseudo-steps in the race scan
+  /// (null for sleep blocks and open-entry cycle prunes).
+  const std::vector<StepFootprint>* pruned_agg = nullptr;
+};
+
+void merge_agg(std::vector<StepFootprint>& agg, const StepFootprint& s) {
+  for (StepFootprint& a : agg) {
+    if (a.pid == s.pid) {
+      a.merge(s);
+      return;
+    }
+  }
+  agg.push_back(s);
+}
+
+void merge_agg_all(std::vector<StepFootprint>& agg, const std::vector<StepFootprint>& other) {
+  for (const StepFootprint& s : other) merge_agg(agg, s);
+}
+
+using Clock = std::vector<std::uint32_t>;
+
+bool clock_leq(const Clock& a, const Clock& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+void clock_join(Clock& into, const Clock& other) {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] = std::max(into[i], other[i]);
+}
+
+void finalize_result(ExploreResult& r, bool bounded) {
+  if (!r.exhaustive || !r.all_runs_completed) {
+    r.exhaustiveness = Exhaustiveness::kBudgetTruncated;
+  } else {
+    r.exhaustiveness =
+        bounded ? Exhaustiveness::kWithinPreemptionBound : Exhaustiveness::kFull;
+  }
+  std::sort(r.final_states.begin(), r.final_states.end());
+  r.final_states.erase(std::unique(r.final_states.begin(), r.final_states.end()),
+                       r.final_states.end());
+}
+
+using MakeFn = std::function<std::unique_ptr<SimRuntime>()>;
+using VerifyFn = std::function<void(SimRuntime&)>;
+
+// ---------------------------------------------------------------------------
+// Sequential DPOR walker (one frontier task)
+// ---------------------------------------------------------------------------
+
+class Walker {
+ public:
+  Walker(const MakeFn& make, const VerifyFn& verify, const DporOptions& opt,
+         std::vector<Pid> base_prefix)
+      : make_(make), verify_(verify), opt_(opt), base_prefix_(std::move(base_prefix)) {
+    base_steps_.resize(base_prefix_.size());
+  }
+
+  ExploreResult run() {
+    result_.all_runs_completed = true;
+    for (;;) {
+      if (result_.runs >= opt_.max_runs) {
+        finalize_result(result_, opt_.max_preemptions.has_value());
+        return result_;
+      }
+      attempt();
+      if (!advance()) break;
+    }
+    result_.exhaustive = true;
+    finalize_result(result_, opt_.max_preemptions.has_value());
+    return result_;
+  }
+
+ private:
+  // -- one schedule replay ---------------------------------------------------
+
+  void attempt() {
+    auto rt = make_();
+    rt->set_footprint_recording(true);
+    if (opt_.idle_slice_collapse) rt->set_idle_slice_collapse(true);
+    rt_ = rt.get();
+    pos_ = 0;
+    depth_ = 0;
+    used_ = 0;
+    previous_ = Pid::none();
+    cur_sleep_.clear();
+    pending_ = Pending::kNone;
+    rt->set_schedule_policy([this](const std::vector<Pid>& runnable) { return decide(runnable); });
+
+    bool completed = false;
+    bool aborted = false;
+    const std::vector<StepFootprint>* pruned_agg = nullptr;
+    try {
+      completed = rt->run_until_all_done(opt_.max_steps_per_run);
+    } catch (const AbortRun& abort) {
+      aborted = true;
+      if (abort.why == AbortRun::Why::kSleepBlocked) {
+        ++result_.runs_pruned_by_sleep_set;
+      } else {
+        ++result_.runs_pruned_by_state_cache;
+        pruned_agg = abort.pruned_agg;
+        if (pruned_agg != nullptr) {
+          // The pruned subtree counts as explored below the current node.
+          if (!stack_.empty()) merge_agg_all(stack_.back().agg, *pruned_agg);
+        }
+      }
+    }
+    finish_pending_step();
+    StateHash final_state{};
+    const bool record_final = completed && opt_.collect_final_states;
+    if (record_final) final_state = rt->state_hash();
+    rt->shutdown();
+    rt->rethrow_process_error();
+    if (!aborted) {
+      if (!completed) result_.all_runs_completed = false;
+      if (record_final) result_.final_states.push_back(final_state);
+      verify_(*rt);
+    }
+    ++result_.runs;
+    race_scan(pruned_agg);
+    rt_ = nullptr;
+  }
+
+  /// The schedule policy: replay the base prefix, then the stack's chosen
+  /// branches, then extend with fresh nodes until done or pruned.
+  std::size_t decide(const std::vector<Pid>& runnable) {
+    finish_pending_step();
+    if (pos_ < base_prefix_.size()) return decide_base(runnable);
+    const std::size_t d = depth_;
+    if (d < stack_.size()) return decide_replay(runnable, d);
+    return decide_extend(runnable);
+  }
+
+  std::size_t decide_base(const std::vector<Pid>& runnable) {
+    const Pid want = base_prefix_[pos_];
+    const std::size_t idx = index_of(runnable, want);
+    MM_ASSERT_MSG(idx < runnable.size(), "frontier prefix replay diverged");
+    account_preemption(runnable, want);
+    pending_ = Pending::kBase;
+    pending_index_ = pos_;
+    pending_pid_ = want;
+    ++pos_;
+    return idx;
+  }
+
+  std::size_t decide_replay(const std::vector<Pid>& runnable, std::size_t d) {
+    Node& node = stack_[d];
+    MM_ASSERT_MSG(node.enabled == runnable, "DPOR replay diverged: enabled set changed");
+    // Refresh the arriving sleep set (identical for an unchanged prefix;
+    // freshly computed for the branch being re-entered), then add this
+    // node's retired siblings — they sleep for the current branch.
+    node.sleep_entry_mask = sleep_mask();
+    for (const SleepEntry& s : node.slept_siblings) cur_sleep_.push_back(s);
+    const std::size_t idx = index_of(runnable, node.chosen);
+    MM_ASSERT_MSG(idx < runnable.size(), "DPOR replay diverged: chosen pid not runnable");
+    account_preemption(runnable, node.chosen);
+    pending_ = Pending::kNode;
+    pending_index_ = d;
+    pending_pid_ = node.chosen;
+    ++depth_;
+    return idx;
+  }
+
+  std::size_t decide_extend(const std::vector<Pid>& runnable) {
+    Node node;
+    node.enabled = runnable;
+    for (const Pid p : runnable) node.enabled_mask |= pid_bit(p);
+    node.previous = previous_;
+    node.preempt_used = used_;
+    node.sleep_entry_mask = sleep_mask();
+
+    // Preemption bound: out of budget and the running process still
+    // runnable — the decision collapses to degree 1 and is never branched.
+    if (opt_.max_preemptions.has_value() && used_ >= *opt_.max_preemptions &&
+        !previous_.is_none() && (node.enabled_mask & pid_bit(previous_)) != 0) {
+      node.chosen = previous_;
+      node.forced = true;
+    }
+
+    if (opt_.state_cache) {
+      node.state = rt_->state_hash();
+      auto& bucket = cache_[node.state];
+      for (CacheEntry& entry : bucket) {
+        // The entry covers this node only if it explored at least as much:
+        // its sleep set must be a subset of ours, and under a preemption
+        // bound it must have had the same running process and at least as
+        // much remaining budget.
+        if ((entry.sleep_mask & ~node.sleep_entry_mask) != 0) continue;
+        if (opt_.max_preemptions.has_value() &&
+            (entry.previous != node.previous || entry.preempt_used > node.preempt_used))
+          continue;
+        // Open entry: an ancestor on the current path has this very state —
+        // the schedule cycled (e.g. a collapsed spin); its exploration is
+        // this exploration. Closed entry: a finished subtree; replay its
+        // aggregate footprints for race detection and stop.
+        throw AbortRun{AbortRun::Why::kCacheHit, entry.open ? nullptr : &entry.agg};
+      }
+      node.has_cache_entry = true;
+      node.cache_slot = bucket.size();
+      bucket.push_back(CacheEntry{node.sleep_entry_mask, node.previous, node.preempt_used,
+                                  /*open=*/true, {}});
+    }
+
+    if (!node.forced) {
+      node.chosen = Pid::none();
+      for (const Pid p : runnable) {
+        if ((node.sleep_entry_mask & pid_bit(p)) == 0) {
+          node.chosen = p;
+          break;
+        }
+      }
+      if (node.chosen.is_none()) {
+        // Every enabled process is asleep: each of their next steps was
+        // fully explored from an equivalent prefix. Nothing new below.
+        if (node.has_cache_entry) {
+          // The node never joins the stack; drop its just-opened entry so
+          // advance() bookkeeping stays one-to-one with stack nodes.
+          cache_[node.state].pop_back();
+        }
+        throw AbortRun{AbortRun::Why::kSleepBlocked, nullptr};
+      }
+    }
+    node.backtrack_mask = pid_bit(node.chosen);
+
+    const std::size_t idx = index_of(runnable, node.chosen);
+    account_preemption(runnable, node.chosen);
+    pending_ = Pending::kNode;
+    pending_index_ = stack_.size();
+    pending_pid_ = node.chosen;
+    stack_.push_back(std::move(node));
+    ++depth_;
+    return idx;
+  }
+
+  /// Record the footprint of the slice that just ran (the previous
+  /// decision's branch) and filter the sleep set: the executed step wakes
+  /// every sleeper whose recorded step depends on it.
+  void finish_pending_step() {
+    if (pending_ == Pending::kNone) return;
+    StepFootprint& slot =
+        pending_ == Pending::kBase ? base_steps_[pending_index_] : stack_[pending_index_].step;
+    slot = rt_->last_footprint();
+    const Pid p = pending_pid_;
+    std::erase_if(cur_sleep_, [&](const SleepEntry& e) {
+      return e.pid == p || footprints_dependent(slot, e.step);
+    });
+    pending_ = Pending::kNone;
+  }
+
+  [[nodiscard]] std::uint64_t sleep_mask() const {
+    std::uint64_t m = 0;
+    for (const SleepEntry& e : cur_sleep_) m |= pid_bit(e.pid);
+    return m;
+  }
+
+  static std::size_t index_of(const std::vector<Pid>& runnable, Pid want) {
+    for (std::size_t i = 0; i < runnable.size(); ++i)
+      if (runnable[i] == want) return i;
+    return runnable.size();
+  }
+
+  void account_preemption(const std::vector<Pid>& runnable, Pid chosen) {
+    if (!previous_.is_none() && chosen != previous_) {
+      for (const Pid p : runnable) {
+        if (p == previous_) {
+          ++used_;
+          break;
+        }
+      }
+    }
+    previous_ = chosen;
+  }
+
+  // -- race detection --------------------------------------------------------
+
+  struct StepRef {
+    const StepFootprint* fp;
+    std::ptrdiff_t node;  ///< stack index, or -1 for a frontier-prefix step
+  };
+
+  /// Forward scan over this attempt's executed steps: find dependent pairs
+  /// not already ordered transitively (vector clocks over per-object last
+  /// accesses) and mark the later step's pid for backtracking at the earlier
+  /// decision. `pruned_agg`, when a closed cache entry ended the attempt,
+  /// stands in for the pruned subtree: its per-pid aggregates are matched
+  /// against every executed step with no transitivity filter (conservative).
+  void race_scan(const std::vector<StepFootprint>* pruned_agg) {
+    const std::size_t n_procs = procs_hint();
+    std::vector<StepRef> steps;
+    steps.reserve(pos_ + stack_.size());
+    for (std::size_t i = 0; i < pos_; ++i) steps.push_back({&base_steps_[i], -1});
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+      steps.push_back({&stack_[i].step, static_cast<std::ptrdiff_t>(i)});
+
+    bool any_clock = false;
+    for (const StepRef& s : steps) any_clock = any_clock || s.fp->observed_clock;
+
+    std::vector<Clock> clocks(steps.size());
+    std::vector<std::ptrdiff_t> prog_pred(n_procs, -1);
+    std::vector<std::uint32_t> own_count(n_procs, 0);
+    std::unordered_map<std::uint64_t, std::ptrdiff_t> last_write;
+    std::unordered_map<std::uint64_t, std::vector<std::ptrdiff_t>> reads_since;
+    std::vector<std::ptrdiff_t> last_send(n_procs, -1);
+    std::vector<std::ptrdiff_t> last_drain(n_procs, -1);
+    std::vector<std::vector<std::ptrdiff_t>> sends_since_drain(n_procs);
+    std::vector<std::ptrdiff_t> cands;
+
+    for (std::size_t k = 0; k < steps.size(); ++k) {
+      const StepFootprint& fp = *steps[k].fp;
+      const std::size_t p = fp.pid.index();
+      cands.clear();
+      if (any_clock) {
+        // Rare fallback (a body called Env::now()): a clock observation
+        // depends on everything, so enumerate dependent pairs directly.
+        for (std::size_t j = 0; j < k; ++j)
+          if (footprints_dependent(*steps[j].fp, fp)) cands.push_back(static_cast<std::ptrdiff_t>(j));
+      } else {
+        for (const runtime::RegKey r : fp.reads) {
+          const auto it = last_write.find(r.bits());
+          if (it != last_write.end()) cands.push_back(it->second);
+        }
+        for (const runtime::RegKey w : fp.writes) {
+          const auto it = last_write.find(w.bits());
+          if (it != last_write.end()) cands.push_back(it->second);
+          const auto rit = reads_since.find(w.bits());
+          if (rit != reads_since.end())
+            cands.insert(cands.end(), rit->second.begin(), rit->second.end());
+        }
+        for (const Pid d : fp.send_to) {
+          if (last_send[d.index()] >= 0) cands.push_back(last_send[d.index()]);
+          if (last_drain[d.index()] >= 0) cands.push_back(last_drain[d.index()]);
+        }
+        if (fp.drained)
+          cands.insert(cands.end(), sends_since_drain[p].begin(), sends_since_drain[p].end());
+      }
+      std::sort(cands.begin(), cands.end());
+      cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+      Clock clk(n_procs, 0);
+      if (prog_pred[p] >= 0) clk = clocks[static_cast<std::size_t>(prog_pred[p])];
+      for (const std::ptrdiff_t j : cands) {
+        const StepRef& pre = steps[static_cast<std::size_t>(j)];
+        if (pre.fp->pid == fp.pid) continue;
+        // Not ordered through program order + earlier conflicts alone ⇒ the
+        // pair is a reversible race: demand the alternative order.
+        if (!clock_leq(clocks[static_cast<std::size_t>(j)], clk)) flag_race(pre, fp.pid);
+        clock_join(clk, clocks[static_cast<std::size_t>(j)]);
+      }
+      clk[p] = ++own_count[p];
+      clocks[k] = std::move(clk);
+      prog_pred[p] = static_cast<std::ptrdiff_t>(k);
+
+      for (const runtime::RegKey r : fp.reads) reads_since[r.bits()].push_back(static_cast<std::ptrdiff_t>(k));
+      for (const runtime::RegKey w : fp.writes) {
+        last_write[w.bits()] = static_cast<std::ptrdiff_t>(k);
+        reads_since[w.bits()].clear();
+      }
+      for (const Pid d : fp.send_to) {
+        last_send[d.index()] = static_cast<std::ptrdiff_t>(k);
+        sends_since_drain[d.index()].push_back(static_cast<std::ptrdiff_t>(k));
+      }
+      if (fp.drained) {
+        last_drain[p] = static_cast<std::ptrdiff_t>(k);
+        sends_since_drain[p].clear();
+      }
+    }
+
+    if (pruned_agg != nullptr) {
+      for (const StepFootprint& ghost : *pruned_agg) {
+        for (const StepRef& s : steps) {
+          if (s.fp->pid != ghost.pid && footprints_dependent(*s.fp, ghost))
+            flag_race(s, ghost.pid);
+        }
+      }
+    }
+  }
+
+  void flag_race(const StepRef& at, Pid later_pid) {
+    if (at.node < 0) return;  // frontier prefix: all siblings expanded anyway
+    Node& node = stack_[static_cast<std::size_t>(at.node)];
+    if (node.forced) return;  // bound-collapsed decisions never branch
+    if ((node.enabled_mask & pid_bit(later_pid)) != 0) {
+      node.backtrack_mask |= pid_bit(later_pid);
+    } else {
+      node.backtrack_mask |= node.enabled_mask;
+    }
+  }
+
+  [[nodiscard]] std::size_t procs_hint() const { return n_procs_; }
+
+  // -- backtracking ----------------------------------------------------------
+
+  /// Retire the branch just explored and move to the next backtrack
+  /// candidate, popping exhausted nodes (closing their cache entries).
+  /// False when the whole tree is exhausted.
+  bool advance() {
+    while (!stack_.empty()) {
+      Node& node = stack_.back();
+      if ((node.done_mask & pid_bit(node.chosen)) == 0) {
+        node.done_mask |= pid_bit(node.chosen);
+        node.slept_siblings.push_back(SleepEntry{node.chosen, node.step});
+        merge_agg(node.agg, node.step);
+      }
+      std::uint64_t cand = node.backtrack_mask & node.enabled_mask & ~node.done_mask;
+      bool chose = false;
+      while (cand != 0) {
+        const auto idx = static_cast<std::uint32_t>(std::countr_zero(cand));
+        const Pid q{idx};
+        if (opt_.sleep_sets && (node.sleep_entry_mask & pid_bit(q)) != 0) {
+          // Asleep on entry: this step's subtree was explored from an
+          // equivalent prefix — skip without a replay.
+          node.done_mask |= pid_bit(q);
+          ++result_.runs_pruned_by_sleep_set;
+          cand &= ~pid_bit(q);
+          continue;
+        }
+        node.chosen = q;
+        node.forced = false;
+        chose = true;
+        break;
+      }
+      if (chose) return true;
+      if (node.has_cache_entry) {
+        CacheEntry& entry = cache_[node.state][node.cache_slot];
+        entry.open = false;
+        entry.agg = node.agg;
+      }
+      std::vector<StepFootprint> agg = std::move(node.agg);
+      stack_.pop_back();
+      if (!stack_.empty()) merge_agg_all(stack_.back().agg, agg);
+    }
+    return false;
+  }
+
+ public:
+  void set_procs_hint(std::size_t n) { n_procs_ = n; }
+
+ private:
+  const MakeFn& make_;
+  const VerifyFn& verify_;
+  const DporOptions& opt_;
+  std::vector<Pid> base_prefix_;
+  std::vector<StepFootprint> base_steps_;
+
+  ExploreResult result_;
+  std::vector<Node> stack_;
+  std::unordered_map<StateHash, std::vector<CacheEntry>> cache_;
+
+  // Per-attempt walk state.
+  SimRuntime* rt_ = nullptr;
+  std::size_t pos_ = 0;    ///< base prefix decisions taken
+  std::size_t depth_ = 0;  ///< stack decisions taken
+  std::uint32_t used_ = 0;
+  Pid previous_ = Pid::none();
+  std::vector<SleepEntry> cur_sleep_;
+  enum class Pending : std::uint8_t { kNone, kBase, kNode };
+  Pending pending_ = Pending::kNone;
+  std::size_t pending_index_ = 0;
+  Pid pending_pid_ = Pid::none();
+  std::size_t n_procs_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Frontier expansion
+// ---------------------------------------------------------------------------
+
+struct StopCapture {};
+
+struct Capture {
+  std::vector<Pid> enabled;
+  bool run_ended = true;
+  bool forced = false;
+  Pid forced_pid = Pid::none();
+};
+
+/// Replay `prefix` and report the decision point right after it: the
+/// enabled set, or that the run ended inside the prefix, or that the
+/// preemption bound forces a single continuation.
+Capture probe_prefix(const MakeFn& make, const DporOptions& opt,
+                     const std::vector<Pid>& prefix) {
+  auto rt = make();
+  Capture cap;
+  std::size_t pos = 0;
+  std::uint32_t used = 0;
+  Pid previous = Pid::none();
+  rt->set_schedule_policy([&](const std::vector<Pid>& runnable) -> std::size_t {
+    if (pos < prefix.size()) {
+      const Pid want = prefix[pos];
+      std::size_t idx = runnable.size();
+      for (std::size_t i = 0; i < runnable.size(); ++i)
+        if (runnable[i] == want) idx = i;
+      MM_ASSERT_MSG(idx < runnable.size(), "frontier expansion replay diverged");
+      if (!previous.is_none() && want != previous) {
+        for (const Pid p : runnable)
+          if (p == previous) {
+            ++used;
+            break;
+          }
+      }
+      previous = want;
+      ++pos;
+      return idx;
+    }
+    cap.run_ended = false;
+    cap.enabled = runnable;
+    if (opt.max_preemptions.has_value() && used >= *opt.max_preemptions &&
+        !previous.is_none()) {
+      for (const Pid p : runnable) {
+        if (p == previous) {
+          cap.forced = true;
+          cap.forced_pid = previous;
+          break;
+        }
+      }
+    }
+    throw StopCapture{};
+  });
+  try {
+    (void)rt->run_until_all_done(opt.max_steps_per_run);
+  } catch (const StopCapture&) {
+  }
+  rt->shutdown();
+  return cap;
+}
+
+std::vector<std::vector<Pid>> expand_frontier(const MakeFn& make, const DporOptions& opt) {
+  std::vector<std::vector<Pid>> tasks;
+  std::vector<std::vector<Pid>> frontier{{}};
+  for (std::size_t d = 0; d < opt.frontier_depth; ++d) {
+    std::vector<std::vector<Pid>> next;
+    for (const std::vector<Pid>& prefix : frontier) {
+      const Capture cap = probe_prefix(make, opt, prefix);
+      if (cap.run_ended) {
+        tasks.push_back(prefix);  // the whole run fits inside the prefix
+        continue;
+      }
+      if (cap.forced) {
+        std::vector<Pid> child = prefix;
+        child.push_back(cap.forced_pid);
+        next.push_back(std::move(child));
+        continue;
+      }
+      for (const Pid p : cap.enabled) {
+        std::vector<Pid> child = prefix;
+        child.push_back(p);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  tasks.insert(tasks.end(), frontier.begin(), frontier.end());
+  return tasks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+ExploreResult explore_dpor(const MakeFn& make, const VerifyFn& verify,
+                           const DporOptions& options) {
+  std::size_t n_procs = 0;
+  {
+    const auto probe = make();
+    validate_explorable(probe->config());
+    n_procs = probe->config().n();
+  }
+
+  const auto run_task = [&](std::vector<Pid> prefix) {
+    Walker w(make, verify, options, std::move(prefix));
+    w.set_procs_hint(n_procs);
+    return w.run();
+  };
+
+  if (options.frontier_depth == 0) return run_task({});
+
+  const std::vector<std::vector<Pid>> tasks = expand_frontier(make, options);
+  MM_ASSERT_MSG(!tasks.empty(), "frontier expansion produced no tasks");
+  const std::vector<ExploreResult> parts = exec::parallel_map(
+      tasks.size(), [&](std::uint64_t i) { return run_task(tasks[static_cast<std::size_t>(i)]); },
+      options.jobs);
+
+  // Deterministic reduction in lexicographic prefix order: independent of
+  // job count by construction (each task's result is a pure function of its
+  // prefix).
+  ExploreResult total;
+  total.exhaustive = true;
+  total.all_runs_completed = true;
+  for (const ExploreResult& part : parts) {
+    total.runs += part.runs;
+    total.runs_pruned_by_state_cache += part.runs_pruned_by_state_cache;
+    total.runs_pruned_by_sleep_set += part.runs_pruned_by_sleep_set;
+    total.exhaustive = total.exhaustive && part.exhaustive;
+    total.all_runs_completed = total.all_runs_completed && part.all_runs_completed;
+    total.final_states.insert(total.final_states.end(), part.final_states.begin(),
+                              part.final_states.end());
+  }
+  finalize_result(total, options.max_preemptions.has_value());
+  return total;
+}
+
+}  // namespace mm::check

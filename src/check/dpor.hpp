@@ -1,0 +1,88 @@
+// Sleep-set DPOR with state caching — the real model checker over
+// SimRuntime, reducing the naive choice tree of check/explore.hpp to (a
+// superset of) one representative per Mazurkiewicz trace.
+//
+// The reduction rests on the per-step footprints recorded by
+// SimRuntime::set_footprint_recording: two slices by different processes
+// whose footprints pass runtime/footprint.hpp's independence checks commute
+// — executing them in either order reaches the same state — so only one
+// order needs exploring. Three cooperating mechanisms exploit this:
+//
+//  * Backtrack (persistent) sets: after each run, a race scan over the
+//    executed footprints finds dependent step pairs not already ordered
+//    transitively (vector clocks) and marks the alternative process for
+//    exploration at the earlier decision — classic Flanagan–Godefroid DPOR.
+//  * Sleep sets: a fully explored branch "sleeps" for its later siblings
+//    until a dependent step wakes it, cutting re-explorations of the same
+//    commutation from the other side.
+//  * State cache: the canonical SimRuntime::state_hash keys previously
+//    explored decision points. Hitting a *closed* entry prunes the subtree,
+//    replaying the entry's aggregated per-process footprints as pseudo-steps
+//    so races into the current prefix are still found; hitting an *open*
+//    entry (an ancestor on the current path) prunes a cycle, which is what
+//    lets busy-wait spins terminate under set_idle_slice_collapse.
+//
+// Soundness needs a restricted adversary — validate_explorable() enforces
+// it: reliable links, fixed delay <= 1 (longer or variable delays break the
+// commutation of a send with an unrelated step), no partitions or memory
+// failures, crashes only at step 0 (initially-dead processes; a crash at
+// step t would make every step clock-dependent). Within that envelope a
+// finished exploration is a proof over EVERY schedule, reported through the
+// same ExploreResult/Exhaustiveness contract as the DFS baseline — which
+// stays the differential oracle (same verdict, same reachable final-state
+// set, fewer runs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "check/explore.hpp"
+#include "runtime/sim_config.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace mm::check {
+
+struct DporOptions {
+  /// Replay budget: counts every schedule replay, including attempts the
+  /// sleep set or state cache aborts early. In frontier mode the budget
+  /// applies per frontier task (keeps the reduction deterministic).
+  std::uint64_t max_runs = 1'000'000;
+  Step max_steps_per_run = 100'000;  ///< per-run step budget (livelock guard)
+  /// CHESS-style preemption bound; same semantics as ExploreOptions. Bounded
+  /// decision points collapse to "continue the running process" and receive
+  /// no backtrack points.
+  std::optional<std::uint32_t> max_preemptions;
+  bool state_cache = true;
+  bool sleep_sets = true;
+  /// Fan the subtrees below every schedule prefix of this depth over
+  /// mm::exec::parallel_map. 0 = fully sequential. Prefixes are fully
+  /// expanded (trivially persistent) and reduced in lexicographic order, so
+  /// verdict, run counts, and final-state set are byte-identical for any
+  /// MM_JOBS / `jobs` value.
+  std::size_t frontier_depth = 0;
+  std::size_t jobs = 0;  ///< worker count for the frontier; 0 = MM_JOBS default
+  bool collect_final_states = true;
+  /// Arm SimRuntime::set_idle_slice_collapse on every replay. Required for
+  /// instances with busy-wait await loops (else spins never revisit a cached
+  /// state and every run hits max_steps_per_run); only sound when those
+  /// loops are spin-stateless — see docs/RUNTIME.md.
+  bool idle_slice_collapse = false;
+};
+
+/// Throws runtime::ConfigError unless `config` is inside the envelope where
+/// the footprint independence relation is sound (see header comment).
+void validate_explorable(const runtime::SimConfig& config);
+
+/// Same harness contract as explore_schedules: `make` builds a fresh
+/// runtime (bodies attached, not started; its config must pass
+/// validate_explorable), `verify` runs after every non-pruned run and
+/// throws/asserts on violations. `verify` must be thread-safe when
+/// frontier_depth > 0.
+[[nodiscard]] ExploreResult explore_dpor(
+    const std::function<std::unique_ptr<runtime::SimRuntime>()>& make,
+    const std::function<void(runtime::SimRuntime&)>& verify,
+    const DporOptions& options = {});
+
+}  // namespace mm::check

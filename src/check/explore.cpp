@@ -1,5 +1,6 @@
 #include "check/explore.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -7,6 +8,29 @@
 namespace mm::check {
 
 using runtime::SimRuntime;
+
+namespace {
+
+/// Map the legacy tree-covered flag + options to the precise claim.
+void finalize_exhaustiveness(ExploreResult& result, const ExploreOptions& options) {
+  if (!result.exhaustive) {
+    result.exhaustiveness = Exhaustiveness::kBudgetTruncated;
+  } else if (!result.all_runs_completed) {
+    // A truncated run is an unexplored schedule suffix: the tree over the
+    // *visited* prefixes was covered, but no exhaustive claim survives.
+    result.exhaustiveness = Exhaustiveness::kBudgetTruncated;
+  } else if (options.max_preemptions.has_value()) {
+    result.exhaustiveness = Exhaustiveness::kWithinPreemptionBound;
+  } else {
+    result.exhaustiveness = Exhaustiveness::kFull;
+  }
+  std::sort(result.final_states.begin(), result.final_states.end());
+  result.final_states.erase(
+      std::unique(result.final_states.begin(), result.final_states.end()),
+      result.final_states.end());
+}
+
+}  // namespace
 
 ExploreResult explore_schedules(
     const std::function<std::unique_ptr<SimRuntime>()>& make,
@@ -16,6 +40,7 @@ ExploreResult explore_schedules(
 
   for (;;) {
     auto rt = make();
+    if (options.collect_final_states) rt->set_footprint_recording(true);
     std::vector<std::size_t> degrees;  // branch degree at each decision
     std::size_t depth = 0;
     std::uint32_t preemptions = 0;
@@ -53,12 +78,17 @@ ExploreResult explore_schedules(
       return choice;
     });
     const bool completed = rt->run_until_all_done(options.max_steps_per_run);
+    if (completed && options.collect_final_states)
+      result.final_states.push_back(rt->state_hash());
     rt->shutdown();
     rt->rethrow_process_error();
     if (!completed) result.all_runs_completed = false;
     verify(*rt);
     ++result.runs;
-    if (result.runs >= options.max_runs) return result;  // exhausted the budget
+    if (result.runs >= options.max_runs) {  // exhausted the budget
+      finalize_exhaustiveness(result, options);
+      return result;
+    }
 
     // Backtrack: deepest decision with an untried sibling. The full trace is
     // the prefix padded with zeros, so scanning `degrees` covers both.
@@ -76,6 +106,7 @@ ExploreResult explore_schedules(
     }
     if (!advanced) {
       result.exhaustive = true;
+      finalize_exhaustiveness(result, options);
       return result;
     }
   }

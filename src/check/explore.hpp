@@ -1,4 +1,6 @@
-// Exhaustive schedule exploration — a small model checker over SimRuntime.
+// Exhaustive schedule exploration — the naive DFS baseline of the model
+// checker (the DPOR explorer in check/dpor.hpp is differentially tested
+// against it).
 //
 // The simulator is deterministic given (seed, schedule choices): process
 // coins and link delays come from seeded streams, so the ONLY source of
@@ -13,17 +15,39 @@
 //
 // Costs grow like the number of interleavings (C(2k, k) for two processes
 // issuing k operations each), so callers bound runs with `max_runs`; the
-// result says whether the tree was exhausted.
+// result says whether — and in what sense — the tree was exhausted.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "runtime/footprint.hpp"
 #include "runtime/sim_runtime.hpp"
 
 namespace mm::check {
+
+/// What a finished exploration actually proved. `kFull` is an unconditional
+/// statement over every schedule; `kWithinPreemptionBound` covered every
+/// schedule with at most `max_preemptions` context switches (CHESS-style);
+/// `kBudgetTruncated` means a run or tree budget expired first and nothing
+/// exhaustive can be claimed.
+enum class Exhaustiveness : std::uint8_t {
+  kBudgetTruncated,
+  kWithinPreemptionBound,
+  kFull,
+};
+
+[[nodiscard]] constexpr const char* to_string(Exhaustiveness e) noexcept {
+  switch (e) {
+    case Exhaustiveness::kBudgetTruncated: return "budget-truncated";
+    case Exhaustiveness::kWithinPreemptionBound: return "within-preemption-bound";
+    case Exhaustiveness::kFull: return "full";
+  }
+  return "?";
+}
 
 struct ExploreOptions {
   std::uint64_t max_runs = 1'000'000;  ///< stop (non-exhaustive) after this many runs
@@ -33,14 +57,36 @@ struct ExploreOptions {
   /// runnable — are explored; once the budget is used, the running process
   /// keeps running while it can. Drastically shrinks the tree (polynomial in
   /// run length for a constant bound) while empirically covering most
-  /// concurrency bugs. `exhaustive` then means "exhaustive within the bound".
+  /// concurrency bugs. Unset means unbounded, i.e. genuinely every schedule.
   std::optional<std::uint32_t> max_preemptions;
+  /// Record the canonical state hash of every *completed* run's final state
+  /// (sorted, deduplicated) — the set DPOR results are differentially
+  /// compared against. Arms SimRuntime footprint recording.
+  bool collect_final_states = false;
 };
 
 struct ExploreResult {
   std::uint64_t runs = 0;
-  bool exhaustive = false;  ///< true iff the whole choice tree was covered
+  /// Legacy flag: true iff the explored choice tree was covered before the
+  /// run budget expired. NOTE this is "exhaustive within the preemption
+  /// bound" whenever ExploreOptions::max_preemptions is set — consult
+  /// `exhaustiveness` for the precise claim (pinned by
+  /// Explore.ExhaustivenessContract).
+  bool exhaustive = false;
   bool all_runs_completed = true;  ///< every run finished within the step budget
+  /// The precise statement proved; see Exhaustiveness. `kFull` additionally
+  /// requires all_runs_completed — a run truncated by max_steps_per_run is
+  /// an unexplored suffix.
+  Exhaustiveness exhaustiveness = Exhaustiveness::kBudgetTruncated;
+  /// Runs not replayed because the state cache recognised a revisited state.
+  /// Always 0 for the naive DFS (it has no cache); the field lives here so
+  /// DPOR and DFS report through one struct.
+  std::uint64_t runs_pruned_by_state_cache = 0;
+  /// Branches never scheduled because every candidate was in the sleep set.
+  std::uint64_t runs_pruned_by_sleep_set = 0;
+  /// Sorted, deduplicated final-state hashes of completed runs (empty unless
+  /// collect_final_states).
+  std::vector<runtime::StateHash> final_states;
 };
 
 /// `make` builds a fresh runtime with all process bodies attached (and must

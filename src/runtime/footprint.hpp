@@ -1,0 +1,126 @@
+// Per-step footprints and canonical state hashes — what the model checker
+// (src/check) needs from the runtime.
+//
+// A footprint records which shared objects one scheduler step (one process
+// slice) touched: register read/write sets, message sends by destination,
+// whether the inbox was drained, whether randomness was consumed, and
+// whether the global clock was observed. Two steps by different processes
+// are INDEPENDENT when their footprints cannot conflict — swapping two
+// adjacent independent steps provably reaches the same state (see
+// docs/RUNTIME.md, "Footprints and independence"). That relation is what
+// drives the sleep-set DPOR explorer in check/dpor.*.
+//
+// StateHash is the 128-bit canonical hash of a whole simulator state
+// (process observation histories + register contents + in-flight messages),
+// computed by SimRuntime::state_hash(). Two states with equal hashes have
+// — up to hash collision, negligible at 128 bits — identical futures under
+// identical schedules, which is what makes state caching sound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "runtime/register_key.hpp"
+
+namespace mm::runtime {
+
+struct StateHash {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const StateHash&, const StateHash&) = default;
+  friend auto operator<=>(const StateHash&, const StateHash&) = default;
+};
+
+/// Everything one scheduler step touched. Vectors are deduplicated but
+/// unordered; footprints are tiny (a handful of entries), so conflict
+/// checks are linear scans.
+struct StepFootprint {
+  Pid pid = Pid::none();
+  std::vector<RegKey> reads;   ///< registers read (CAS contributes here too)
+  std::vector<RegKey> writes;  ///< registers written (CAS contributes here too)
+  std::vector<Pid> send_to;    ///< destinations of sends this step
+  bool drained = false;        ///< the step drained its inbox
+  bool drew_rand = false;      ///< consumed the per-process random stream
+  bool observed_clock = false; ///< called Env::now() — depends on every step
+
+  void clear(Pid p) {
+    pid = p;
+    reads.clear();
+    writes.clear();
+    send_to.clear();
+    drained = false;
+    drew_rand = false;
+    observed_clock = false;
+  }
+
+  void add_read(RegKey k) {
+    for (const RegKey r : reads)
+      if (r == k) return;
+    reads.push_back(k);
+  }
+  void add_write(RegKey k) {
+    for (const RegKey r : writes)
+      if (r == k) return;
+    writes.push_back(k);
+  }
+  void add_send(Pid to) {
+    for (const Pid p : send_to)
+      if (p == to) return;
+    send_to.push_back(to);
+  }
+
+  /// Merge `other` into this footprint (same-pid union; used by the DPOR
+  /// state cache to summarize whole explored subtrees).
+  void merge(const StepFootprint& other) {
+    for (const RegKey k : other.reads) add_read(k);
+    for (const RegKey k : other.writes) add_write(k);
+    for (const Pid p : other.send_to) add_send(p);
+    drained = drained || other.drained;
+    drew_rand = drew_rand || other.drew_rand;
+    observed_clock = observed_clock || other.observed_clock;
+  }
+};
+
+/// True when the two steps may NOT be swapped: same process (program
+/// order), a register conflict (shared register with at least one writer),
+/// a channel conflict (send racing a drain by the destination, or two
+/// sends to the same destination, whose inbox order is observable), or a
+/// clock observation (time advances with every step, so a step that reads
+/// the clock commutes with nothing). Requires the explorer preconditions
+/// of check/dpor.hpp (reliable links, unit delay) — under those, steps
+/// whose footprints pass every check below commute in every state where
+/// both are enabled.
+[[nodiscard]] inline bool footprints_dependent(const StepFootprint& a,
+                                               const StepFootprint& b) noexcept {
+  if (a.pid == b.pid) return true;
+  if (a.observed_clock || b.observed_clock) return true;
+  for (const RegKey w : a.writes) {
+    for (const RegKey r : b.reads)
+      if (w == r) return true;
+    for (const RegKey r : b.writes)
+      if (w == r) return true;
+  }
+  for (const RegKey w : b.writes)
+    for (const RegKey r : a.reads)
+      if (w == r) return true;
+  for (const Pid t : a.send_to) {
+    if (t == b.pid && b.drained) return true;
+    for (const Pid u : b.send_to)
+      if (t == u) return true;
+  }
+  for (const Pid t : b.send_to)
+    if (t == a.pid && a.drained) return true;
+  return false;
+}
+
+}  // namespace mm::runtime
+
+template <>
+struct std::hash<mm::runtime::StateHash> {
+  std::size_t operator()(const mm::runtime::StateHash& h) const noexcept {
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};

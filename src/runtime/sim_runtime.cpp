@@ -6,6 +6,35 @@
 
 namespace mm::runtime {
 
+namespace {
+
+/// Fibonacci/Murmur-style 64-bit finalizer: the mixing primitive behind the
+/// observation hashes and state_hash(). Not cryptographic — 128 bits of
+/// state hash make accidental collisions negligible for exploration sizes.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Observation kind tags (domain-separate the rolling hash inputs).
+constexpr std::uint64_t kObsRead = 0xA1;
+constexpr std::uint64_t kObsCas = 0xA2;
+constexpr std::uint64_t kObsCoin = 0xA3;
+constexpr std::uint64_t kObsRand = 0xA4;
+constexpr std::uint64_t kObsDrain = 0xA5;
+constexpr std::uint64_t kObsMsg = 0xA6;
+constexpr std::uint64_t kObsNow = 0xA7;
+constexpr std::uint64_t kObsSlice = 0xA8;
+
+constexpr std::uint64_t kObsSeed = 0x5851f42d4c957f2dULL;
+constexpr std::uint64_t kSliceSigSeed = 0x2545f4914f6cdd1dULL;
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // SimEnv — forwards to the runtime, tagged with the calling pid.
 // ---------------------------------------------------------------------------
@@ -19,12 +48,12 @@ void SimEnv::write(RegId r, std::uint64_t v) { rt_->env_write(self_, r, v); }
 std::uint64_t SimEnv::cas(RegId r, std::uint64_t expected, std::uint64_t desired) {
   return rt_->env_cas(self_, r, expected, desired);
 }
-bool SimEnv::coin() { return rt_->proc_rng_[self_.index()].coin(); }
+bool SimEnv::coin() { return rt_->env_coin(self_); }
 std::uint64_t SimEnv::rand_below(std::uint64_t bound) {
-  return rt_->proc_rng_[self_.index()].below(bound);
+  return rt_->env_rand_below(self_, bound);
 }
 void SimEnv::step() { rt_->env_step(self_); }
-Step SimEnv::now() const { return rt_->now(); }
+Step SimEnv::now() const { return rt_->env_now(self_); }
 bool SimEnv::stop_requested() const { return rt_->stop_requested_; }
 
 // ---------------------------------------------------------------------------
@@ -210,12 +239,130 @@ void SimRuntime::activate(std::size_t pick) {
   Proc& pr = *procs_[pick];
   ++metrics_.steps_by_proc[pick];
   trace_event(Pid{static_cast<std::uint32_t>(pick)}, TraceEvent::Kind::kSchedule);
+  if (record_footprints_) [[unlikely]]
+    begin_slice(pick);
   pr.exec->resume();
+  if (record_footprints_) [[unlikely]]
+    end_slice(pick);
   if (pr.finished_flag) {
     pr.state = ProcState::kFinished;
     remove_runnable(pick);
   }
   ++global_step_;
+}
+
+// ---------------------------------------------------------------------------
+// Footprint / observation recording (model-checker hooks)
+// ---------------------------------------------------------------------------
+
+void SimRuntime::set_footprint_recording(bool on) {
+  record_footprints_ = on;
+  if (on && obs_hash_.empty()) {
+    obs_hash_.assign(config_.n(), kObsSeed);
+    last_idle_sig_.assign(config_.n(), 0);
+    last_idle_valid_.assign(config_.n(), 0);
+  }
+}
+
+void SimRuntime::obs_note(Pid self, std::uint64_t tag, std::uint64_t value) {
+  const std::uint64_t v = mix64(tag ^ mix64(value));
+  std::uint64_t& h = obs_hash_[self.index()];
+  h = mix64(h ^ v);
+  slice_sig_ = mix64(slice_sig_ ^ v);
+}
+
+void SimRuntime::begin_slice(std::size_t pick) {
+  footprint_.clear(Pid{static_cast<std::uint32_t>(pick)});
+  slice_pre_obs_ = obs_hash_[pick];
+  slice_sig_ = kSliceSigSeed;
+  slice_got_messages_ = false;
+}
+
+void SimRuntime::end_slice(std::size_t pick) {
+  // Effect-free: nothing another process (or the oracle) could ever see —
+  // no writes, no sends, no randomness consumed, no clock read, and any
+  // drain came back empty. Metrics counters still tick, which is why
+  // step/read-count metrics are not merge-stable oracles (docs/RUNTIME.md).
+  const bool effect_free = footprint_.writes.empty() && footprint_.send_to.empty() &&
+                           !footprint_.drew_rand && !footprint_.observed_clock &&
+                           !slice_got_messages_;
+  const std::uint64_t sig = slice_sig_;
+  if (idle_collapse_ && effect_free && last_idle_valid_[pick] != 0 &&
+      last_idle_sig_[pick] == sig) {
+    // A spin iteration identical to the previous one: roll the observation
+    // hash back so the state maps to the same point and the explorer's
+    // state cache recognises the cycle. last_idle_* stay armed, so every
+    // further identical iteration collapses too.
+    obs_hash_[pick] = slice_pre_obs_;
+    return;
+  }
+  // Default: every slice advances the observation hash (slices folded with
+  // their signature), so iteration counts distinguish states — required for
+  // timer-driven loops like Ω's monitor.
+  std::uint64_t& h = obs_hash_[pick];
+  h = mix64(h ^ mix64(kObsSlice ^ mix64(sig)));
+  last_idle_valid_[pick] = effect_free ? 1 : 0;
+  last_idle_sig_[pick] = sig;
+}
+
+StateHash SimRuntime::state_hash() const {
+  MM_ASSERT_MSG(record_footprints_, "state_hash requires footprint recording armed");
+  std::uint64_t lo = 0x6a09e667f3bcc908ULL;
+  std::uint64_t hi = 0xbb67ae8584caa73bULL;
+  const auto fold = [&lo, &hi](std::uint64_t v) {
+    lo = mix64(lo ^ v);
+    hi = mix64(hi ^ (v * 0x9e3779b97f4a7c15ULL + 0x165667b19e3779f9ULL));
+  };
+  fold(config_.n());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    fold(static_cast<std::uint64_t>(procs_[i]->state));
+    fold(obs_hash_[i]);
+  }
+  // Registers in key order, zero-valued entries skipped: a register holding
+  // 0 is indistinguishable from one never materialised (env_reg creates
+  // storage holding 0), so including them would split states by RegId
+  // creation order — a difference no process can observe.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> regs;
+  regs.reserve(reg_values_.size());
+  for (std::size_t i = 0; i < reg_values_.size(); ++i)
+    if (reg_values_[i] != 0) regs.emplace_back(reg_keys_[i].bits(), reg_values_[i]);
+  std::sort(regs.begin(), regs.end());
+  fold(regs.size());
+  for (const auto& [k, v] : regs) {
+    fold(k);
+    fold(v);
+  }
+  // In-flight messages per destination in (deliver_at, seq) order — i.e.
+  // exactly the order they will be drained in — with *relative* delivery
+  // delays. Raw seq numbers and absolute steps differ across interleavings
+  // that reach the same state, so neither enters the hash. (inbox_ is
+  // always empty between steps: deliveries happen only inside env_drain,
+  // which immediately swaps the inbox out to the caller.)
+  std::vector<const InFlight*> order;
+  for (std::size_t d = 0; d < pending_.size(); ++d) {
+    const auto& pend = pending_[d];
+    fold(pend.size());
+    if (pend.empty()) continue;
+    order.clear();
+    order.reserve(pend.size());
+    for (const InFlight& f : pend) order.push_back(&f);
+    std::sort(order.begin(), order.end(), [](const InFlight* a, const InFlight* b) {
+      return a->deliver_at != b->deliver_at ? a->deliver_at < b->deliver_at : a->seq < b->seq;
+    });
+    for (const InFlight* f : order) {
+      fold(f->deliver_at > global_step_ ? f->deliver_at - global_step_ : 0);
+      fold(f->msg.from.value());
+      fold((static_cast<std::uint64_t>(f->msg.kind) << 32) ^ f->msg.round);
+      fold(f->msg.value);
+      fold(f->msg.aux);
+      fold(f->msg.tuples.size());
+      for (const RepTuple& t : f->msg.tuples) {
+        fold(t.pid.value());
+        fold(t.value);
+      }
+    }
+  }
+  return StateHash{lo, hi};
 }
 
 bool SimRuntime::step_once() {
@@ -356,6 +503,8 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
   MM_ASSERT(to.index() < config_.n());
   if (injector_ != nullptr) [[unlikely]]
     injector_->on_send(*this, from, to);
+  if (record_footprints_) [[unlikely]]
+    footprint_.add_send(to);
   ++metrics_.msgs_sent;
   ++metrics_.sends_by_proc[from.index()];
   if (config_.link_type == LinkType::kFairLossy && link_rng_.bernoulli(config_.drop_prob)) {
@@ -409,6 +558,24 @@ void SimRuntime::env_drain(Pid self, std::vector<Message>& out) {
   // steady-state drain allocates nothing.
   out.clear();
   std::swap(out, inbox_[self.index()]);
+  if (record_footprints_) [[unlikely]] {
+    // Even an empty drain is a channel touch: it would have observed any
+    // message sent before it, so it must order against sends to `self`.
+    footprint_.drained = true;
+    if (!out.empty()) slice_got_messages_ = true;
+    obs_note(self, kObsDrain, out.size());
+    for (const Message& m : out) {
+      obs_note(self, kObsMsg, m.from.value());
+      obs_note(self, kObsMsg, (static_cast<std::uint64_t>(m.kind) << 32) ^ m.round);
+      obs_note(self, kObsMsg, m.value);
+      obs_note(self, kObsMsg, m.aux);
+      obs_note(self, kObsMsg, m.tuples.size());
+      for (const RepTuple& t : m.tuples) {
+        obs_note(self, kObsMsg, t.pid.value());
+        obs_note(self, kObsMsg, t.value);
+      }
+    }
+  }
 }
 
 RegId SimRuntime::env_reg(Pid self, RegKey key) {
@@ -462,6 +629,10 @@ std::uint64_t SimRuntime::env_read(Pid self, RegId r) {
     ++metrics_.remote_reads_by_proc[self.index()];
   }
   trace_event(self, TraceEvent::Kind::kRegRead, r.value(), reg_values_[r.index()]);
+  if (record_footprints_) [[unlikely]] {
+    footprint_.add_read(reg_keys_[r.index()]);
+    obs_note(self, kObsRead, reg_values_[r.index()]);
+  }
   return reg_values_[r.index()];
 }
 
@@ -479,6 +650,8 @@ void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
     ++metrics_.remote_writes_by_proc[self.index()];
   }
   trace_event(self, TraceEvent::Kind::kRegWrite, r.value(), v);
+  if (record_footprints_) [[unlikely]]
+    footprint_.add_write(reg_keys_[r.index()]);
   reg_values_[r.index()] = v;
 }
 
@@ -494,8 +667,44 @@ std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
   ++metrics_.reg_cas_ops;
   trace_event(self, TraceEvent::Kind::kRegCas, r.value(), reg_values_[r.index()]);
   const std::uint64_t old = reg_values_[r.index()];
+  if (record_footprints_) [[unlikely]] {
+    // A CAS both observes and (potentially) mutates: read+write footprint,
+    // with the observed old value as the observation. Whether the swap hit
+    // is a deterministic function of (old, expected), so old alone suffices.
+    footprint_.add_read(reg_keys_[r.index()]);
+    footprint_.add_write(reg_keys_[r.index()]);
+    obs_note(self, kObsCas, old);
+  }
   if (old == expected) reg_values_[r.index()] = desired;
   return old;
+}
+
+bool SimRuntime::env_coin(Pid self) {
+  const bool v = proc_rng_[self.index()].coin();
+  if (record_footprints_) [[unlikely]] {
+    footprint_.drew_rand = true;
+    obs_note(self, kObsCoin, v ? 1 : 0);
+  }
+  return v;
+}
+
+std::uint64_t SimRuntime::env_rand_below(Pid self, std::uint64_t bound) {
+  const std::uint64_t v = proc_rng_[self.index()].below(bound);
+  if (record_footprints_) [[unlikely]] {
+    footprint_.drew_rand = true;
+    obs_note(self, kObsRand, v);
+  }
+  return v;
+}
+
+Step SimRuntime::env_now(Pid self) {
+  if (record_footprints_) [[unlikely]] {
+    // Reading the clock makes the step depend on *every* other step (time
+    // advances with each), so it is recorded as a global conflict.
+    footprint_.observed_clock = true;
+    obs_note(self, kObsNow, global_step_);
+  }
+  return global_step_;
 }
 
 }  // namespace mm::runtime

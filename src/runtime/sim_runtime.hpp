@@ -20,6 +20,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "runtime/env.hpp"
 #include "runtime/exec_backend.hpp"
 #include "runtime/fault_hook.hpp"
+#include "runtime/footprint.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sim_config.hpp"
 
@@ -152,6 +154,15 @@ class SimRuntime {
   [[nodiscard]] const std::vector<std::uint64_t>& register_values() const noexcept {
     return reg_values_;
   }
+  /// Value of the register materialised under `key`, or nullopt if no
+  /// process ever touched it. Key-addressed (unlike register_values(), whose
+  /// RegId order depends on the schedule), so explorer oracles can read
+  /// results a process published to a well-known key on ANY interleaving.
+  [[nodiscard]] std::optional<std::uint64_t> register_value(RegKey key) const {
+    const auto it = reg_index_.find(key);
+    if (it == reg_index_.end()) return std::nullopt;
+    return reg_values_[it->second];
+  }
 
   /// Interleave at register-op granularity (default on; see header comment).
   void set_auto_step_on_shm(bool on) noexcept { auto_step_on_shm_ = on; }
@@ -162,6 +173,42 @@ class SimRuntime {
   /// exhaustive schedule explorer drives.
   using SchedulePolicy = std::function<std::size_t(const std::vector<Pid>& runnable)>;
   void set_schedule_policy(SchedulePolicy policy) { schedule_policy_ = std::move(policy); }
+
+  // -- model-checker hooks (footprints + canonical state hashes) -------------
+  // The third runtime hook family, next to trace_event and FaultInjector:
+  // when armed, every scheduler step records which shared objects the slice
+  // touched (runtime/footprint.hpp) and folds everything the process
+  // *observed* (read values, drained messages, coin draws, clock reads) into
+  // a per-process rolling observation hash. The DPOR explorer in check/dpor.*
+  // consumes both. Off by default: disarmed cost is one predictable branch
+  // per Env operation, same discipline as trace_event.
+
+  /// Arm/disarm per-step footprint + observation recording.
+  void set_footprint_recording(bool on);
+  [[nodiscard]] bool footprint_recording() const noexcept { return record_footprints_; }
+  /// Footprint of the most recently executed scheduler step. Valid while
+  /// recording is armed and at least one step has run.
+  [[nodiscard]] const StepFootprint& last_footprint() const noexcept { return footprint_; }
+
+  /// Opt-in spin-cycle collapse: an *effect-free* slice (no writes, sends,
+  /// clock reads, or randomness; drained nothing) whose observation sequence
+  /// is identical to the process's previous effect-free slice does not
+  /// advance the observation hash, so busy-wait spins map to a fixed point
+  /// and the explorer's state cache can prune the cycle. Only sound for
+  /// algorithms whose await loops are spin-stateless (no iteration counters,
+  /// no timeouts) — see docs/RUNTIME.md. Off by default: every slice then
+  /// advances the hash, which is always sound.
+  void set_idle_slice_collapse(bool on) noexcept { idle_collapse_ = on; }
+
+  /// 128-bit canonical hash of the current simulator state: per-process
+  /// (lifecycle state, observation hash), non-zero register contents, and
+  /// in-flight messages with *relative* delivery delays. Deliberately
+  /// excludes the global step counter so states that differ only by elapsed
+  /// time (e.g. spin iterations) coincide; sound for the explorer's
+  /// restricted configs (crashes at step 0 only, unit delays) because every
+  /// other time dependence flows through observations that are hashed.
+  /// Requires footprint recording to be armed since construction.
+  [[nodiscard]] StateHash state_hash() const;
 
   // -- event tracing (debugging adversarial schedules) -----------------------
   struct TraceEvent {
@@ -266,7 +313,17 @@ class SimRuntime {
   void env_write(Pid self, RegId r, std::uint64_t v);
   std::uint64_t env_cas(Pid self, RegId r, std::uint64_t expected, std::uint64_t desired);
   void env_step(Pid self);
+  bool env_coin(Pid self);
+  std::uint64_t env_rand_below(Pid self, std::uint64_t bound);
+  Step env_now(Pid self);
   void maybe_auto_step(Pid self);
+
+  /// Fold one observation (tagged by kind) into `self`'s rolling observation
+  /// hash and into the current slice signature (for idle-slice collapse).
+  void obs_note(Pid self, std::uint64_t tag, std::uint64_t value);
+  /// Slice lifecycle around ProcExec::resume() while recording is armed.
+  void begin_slice(std::size_t pick);
+  void end_slice(std::size_t pick);
   /// Hot-path tracing hook: a branch-predictable no-op unless enable_trace
   /// armed it (the capacity check inlines; the ring push stays out of line).
   void trace_event(Pid pid, TraceEvent::Kind kind, std::uint64_t a = 0, std::uint64_t b = 0) {
@@ -326,6 +383,17 @@ class SimRuntime {
 
   std::size_t trace_capacity_ = 0;
   std::deque<TraceEvent> trace_;
+
+  // Footprint / observation recording (see the model-checker hooks above).
+  bool record_footprints_ = false;
+  bool idle_collapse_ = false;
+  StepFootprint footprint_;              ///< footprint of the slice in flight / just retired
+  std::vector<std::uint64_t> obs_hash_;  ///< per-process rolling observation hash
+  std::uint64_t slice_pre_obs_ = 0;      ///< obs hash snapshot at slice entry
+  std::uint64_t slice_sig_ = 0;          ///< observation signature of the slice in flight
+  bool slice_got_messages_ = false;      ///< slice drained a non-empty inbox
+  std::vector<std::uint64_t> last_idle_sig_;  ///< per-process last effect-free slice signature
+  std::vector<char> last_idle_valid_;         ///< previous slice was effect-free
 
   Metrics metrics_;
 };

@@ -1,0 +1,298 @@
+// DPOR model checker: reduction soundness is established DIFFERENTIALLY —
+// the naive DFS enumerates every interleaving, DPOR must reach the same
+// verdict and the same reachable final-state set with (far) fewer replays —
+// and sensitivity is established by planted bugs the explorer must find
+// within pinned budgets (trip-wires against reduction bugs that silently
+// skip schedules).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "check/dpor.hpp"
+#include "check/instances.hpp"
+#include "graph/generators.hpp"
+#include "runtime/env.hpp"
+#include "shm/adopt_commit.hpp"
+
+namespace mm::check {
+namespace {
+
+using runtime::Env;
+using runtime::RegKey;
+using runtime::SimBackend;
+using runtime::SimConfig;
+using runtime::SimRuntime;
+
+constexpr std::uint8_t kTag = 0x63;
+
+// -- differential: DPOR ⊆ DFS with identical verdict + final states ----------
+
+TEST(Dpor, DifferentialOnInstanceCorpus) {
+  // Every DFS-feasible clean instance: same (empty) violation verdict, same
+  // reachable final-state set, strictly fewer DPOR replays.
+  for (const Instance* inst :
+       {find_instance("steppers2"), find_instance("ac2"), find_instance("cas2"),
+        find_instance("omega2-steady")}) {
+    ASSERT_NE(inst, nullptr);
+    ASSERT_TRUE(inst->dfs_feasible);
+    ExploreOptions dfs_opts = inst->dfs;
+    dfs_opts.collect_final_states = true;
+    DporOptions dpor_opts = inst->dpor;
+    dpor_opts.collect_final_states = true;
+    const InstanceVerdict dfs = check_instance_dfs(*inst, dfs_opts);
+    const InstanceVerdict dpor = check_instance_dpor(*inst, dpor_opts);
+    EXPECT_FALSE(dfs.violation.has_value()) << inst->name << ": " << *dfs.violation;
+    EXPECT_FALSE(dpor.violation.has_value()) << inst->name << ": " << *dpor.violation;
+    EXPECT_EQ(dfs.result.exhaustiveness, Exhaustiveness::kFull) << inst->name;
+    EXPECT_EQ(dpor.result.exhaustiveness, Exhaustiveness::kFull) << inst->name;
+    EXPECT_EQ(dfs.result.final_states, dpor.result.final_states) << inst->name;
+    EXPECT_LT(dpor.result.runs, dfs.result.runs) << inst->name;
+  }
+}
+
+TEST(Dpor, TenfoldReductionOnPinnedInstance) {
+  // The acceptance pin: on ac2 the naive tree has thousands of
+  // interleavings and DPOR needs at least 10x fewer replays. (Measured
+  // 2716 -> 8; the pin leaves headroom for harness drift, and the
+  // differential test above keeps the reduction honest.)
+  const Instance* ac2 = find_instance("ac2");
+  ASSERT_NE(ac2, nullptr);
+  const InstanceVerdict dfs = check_instance_dfs(*ac2);
+  const InstanceVerdict dpor = check_instance_dpor(*ac2);
+  ASSERT_FALSE(dfs.violation.has_value());
+  ASSERT_FALSE(dpor.violation.has_value());
+  EXPECT_GT(dfs.result.runs, 1000u);
+  EXPECT_GE(dfs.result.runs, 10 * dpor.result.runs)
+      << "DPOR reduction regressed below 10x: " << dfs.result.runs << " vs "
+      << dpor.result.runs;
+}
+
+TEST(Dpor, DifferentialHoldsOnBothExecutionBackends) {
+  // The reduction argument lives above the execution backend: fibers and
+  // parked threads must yield the same verdicts, the same final-state sets,
+  // and the same run counts (trajectories are bit-identical by contract).
+  ExploreResult per_backend[2];
+  for (const SimBackend backend : {SimBackend::kCoroutine, SimBackend::kThread}) {
+    auto make = [backend]() {
+      SimConfig cfg;
+      cfg.gsm = graph::complete(2);
+      cfg.seed = 29;
+      cfg.backend = backend;
+      cfg.min_delay = 1;
+      cfg.max_delay = 1;
+      auto rt = std::make_unique<SimRuntime>(cfg);
+      for (std::uint32_t p = 0; p < 2; ++p)
+        rt->add_process([p](Env& env) {
+          const shm::AdoptCommit ac{RegKey::make(kTag, Pid{0}, 1), 2};
+          const shm::AcResult r = ac.propose(env, p);
+          runtime::write_key(env, RegKey::make_global(kTag, env.self()),
+                             1 + 2 * static_cast<std::uint64_t>(r.value) +
+                                 (r.committed ? 1 : 0));
+        });
+      return rt;
+    };
+    const auto verify = [](SimRuntime& rt) {
+      const auto r0 = rt.register_value(RegKey::make_global(kTag, Pid{0}));
+      const auto r1 = rt.register_value(RegKey::make_global(kTag, Pid{1}));
+      ASSERT_TRUE(r0.has_value() && r1.has_value());
+      // Published as 1 + 2*value + committed; coherence: any commit forces
+      // equal values on every propose.
+      if (((*r0 - 1) & 1) != 0 || ((*r1 - 1) & 1) != 0) {
+        EXPECT_EQ((*r0 - 1) >> 1, (*r1 - 1) >> 1);
+      }
+    };
+    ExploreOptions dfs_opts;
+    dfs_opts.collect_final_states = true;
+    const ExploreResult dfs = explore_schedules(make, verify, dfs_opts);
+    DporOptions dpor_opts;
+    const ExploreResult dpor = explore_dpor(make, verify, dpor_opts);
+    EXPECT_EQ(dfs.exhaustiveness, Exhaustiveness::kFull);
+    EXPECT_EQ(dpor.exhaustiveness, Exhaustiveness::kFull);
+    EXPECT_EQ(dfs.final_states, dpor.final_states);
+    EXPECT_LT(dpor.runs, dfs.runs);
+    per_backend[backend == SimBackend::kThread ? 1 : 0] = dpor;
+  }
+  EXPECT_EQ(per_backend[0].runs, per_backend[1].runs);
+  EXPECT_EQ(per_backend[0].final_states, per_backend[1].final_states);
+}
+
+// -- planted bugs: the explorer must FIND these ------------------------------
+
+TEST(Dpor, FindsPlantedAdoptCommitCoherenceBug) {
+  // p0 skips the announce write; an interleaving where p1 commits 1 against
+  // p0's adopt of 0 exists and DPOR must reach it fast. The pinned budget is
+  // a trip-wire: a reduction bug that drops schedules shows up here first
+  // (measured: violation on verified run 3 for both n=2 and n=3).
+  for (const char* name : {"ac2-broken", "ac3-broken"}) {
+    const Instance* inst = find_instance(name);
+    ASSERT_NE(inst, nullptr);
+    ASSERT_TRUE(inst->expect_violation);
+    const InstanceVerdict v = check_instance_dpor(*inst);
+    ASSERT_TRUE(v.violation.has_value()) << name << ": planted bug not found";
+    EXPECT_NE(v.violation->find("coherence"), std::string::npos) << *v.violation;
+    EXPECT_LE(v.violation_run, 10u) << name << ": trip-wire budget blown";
+  }
+}
+
+TEST(Dpor, FindsPlantedFalseTerminationBug) {
+  // The chaos suite's false-termination invariant, re-planted for the
+  // checker: an edgeless GSM with one live process can never represent a
+  // majority, so the very first schedule truncates and the oracle flags it.
+  const Instance* inst = find_instance("hbo3-stuck");
+  ASSERT_NE(inst, nullptr);
+  const InstanceVerdict v = check_instance_dpor(*inst);
+  ASSERT_TRUE(v.violation.has_value());
+  EXPECT_NE(v.violation->find("did not terminate"), std::string::npos) << *v.violation;
+  EXPECT_EQ(v.violation_run, 1u);
+  // The DFS baseline sees the same bug on the same first run.
+  const InstanceVerdict d = check_instance_dfs(*inst);
+  ASSERT_TRUE(d.violation.has_value());
+  EXPECT_EQ(d.violation_run, 1u);
+}
+
+// -- preemption-bound soundness ----------------------------------------------
+
+TEST(Dpor, UnsetPreemptionBoundEqualsUnbounded) {
+  // max_preemptions unset must behave exactly like an unreachably large
+  // bound. The state cache keys on bound context (previous process +
+  // consumed budget) and would legitimately split states between the two
+  // configurations, so it is disabled for the comparison.
+  const Instance* ac2 = find_instance("ac2");
+  ASSERT_NE(ac2, nullptr);
+  DporOptions unset = ac2->dpor;
+  unset.state_cache = false;
+  DporOptions huge = unset;
+  huge.max_preemptions = 1'000;
+  const InstanceVerdict a = check_instance_dpor(*ac2, unset);
+  const InstanceVerdict b = check_instance_dpor(*ac2, huge);
+  EXPECT_EQ(a.result.runs, b.result.runs);
+  EXPECT_EQ(a.result.final_states, b.result.final_states);
+  EXPECT_EQ(a.result.exhaustiveness, Exhaustiveness::kFull);
+  // The bound was never hit, but the claim must still be the weaker one.
+  EXPECT_EQ(b.result.exhaustiveness, Exhaustiveness::kWithinPreemptionBound);
+}
+
+TEST(Dpor, PreemptionBoundMonotoneInRunsAndStates) {
+  // Raising the bound only adds schedules. DPOR's sleep/cache interact with
+  // bound context, so monotonicity is asserted on the plain persistent-set
+  // walk (no cache, no sleep sets), where the tree nesting argument holds.
+  const Instance* ac2 = find_instance("ac2");
+  ASSERT_NE(ac2, nullptr);
+  DporOptions base = ac2->dpor;
+  base.state_cache = false;
+  base.sleep_sets = false;
+  std::uint64_t prev_runs = 0;
+  std::size_t prev_states = 0;
+  for (const std::uint32_t bound : {0u, 1u, 2u}) {
+    DporOptions o = base;
+    o.max_preemptions = bound;
+    const InstanceVerdict v = check_instance_dpor(*ac2, o);
+    EXPECT_FALSE(v.violation.has_value());
+    EXPECT_EQ(v.result.exhaustiveness, Exhaustiveness::kWithinPreemptionBound);
+    EXPECT_GE(v.result.runs, prev_runs) << "bound " << bound;
+    EXPECT_GE(v.result.final_states.size(), prev_states) << "bound " << bound;
+    prev_runs = v.result.runs;
+    prev_states = v.result.final_states.size();
+  }
+  const InstanceVerdict full = check_instance_dpor(*ac2, base);
+  EXPECT_GE(full.result.runs, prev_runs);
+  EXPECT_GE(full.result.final_states.size(), prev_states);
+  EXPECT_EQ(full.result.exhaustiveness, Exhaustiveness::kFull);
+}
+
+// -- parallel frontier: determinism across worker counts ---------------------
+
+TEST(Dpor, FrontierResultsIdenticalAcrossJobCounts) {
+  const Instance* inst = find_instance("hbo3-crash");
+  ASSERT_NE(inst, nullptr);
+  DporOptions seq = inst->dpor;  // frontier off: the reference reduction
+  const InstanceVerdict reference = check_instance_dpor(*inst, seq);
+  ASSERT_FALSE(reference.violation.has_value());
+  ASSERT_EQ(reference.result.exhaustiveness, Exhaustiveness::kFull);
+
+  ExploreResult parts[2];
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    DporOptions o = inst->dpor;
+    o.frontier_depth = 3;
+    o.jobs = jobs;
+    const InstanceVerdict v = check_instance_dpor(*inst, o);
+    EXPECT_FALSE(v.violation.has_value());
+    EXPECT_EQ(v.result.exhaustiveness, Exhaustiveness::kFull);
+    // Per-task walkers cover their subtrees independently (separate caches,
+    // separate budgets), so run counts exceed the sequential walk — but the
+    // reachable final-state set is the same proof.
+    EXPECT_EQ(v.result.final_states, reference.result.final_states);
+    parts[jobs == 1 ? 0 : 1] = v.result;
+  }
+  // Byte-identical reduction at any worker count.
+  EXPECT_EQ(parts[0].runs, parts[1].runs);
+  EXPECT_EQ(parts[0].runs_pruned_by_state_cache, parts[1].runs_pruned_by_state_cache);
+  EXPECT_EQ(parts[0].runs_pruned_by_sleep_set, parts[1].runs_pruned_by_sleep_set);
+  EXPECT_EQ(parts[0].final_states, parts[1].final_states);
+}
+
+// -- state cache observability (the ExploreResult contract fix) --------------
+
+TEST(Dpor, StateCachePruningIsSurfacedAndSound) {
+  // ac3 revisits converged states heavily; the cache must report its prunes
+  // through ExploreResult and must not change the reachable final states.
+  const Instance* ac3 = find_instance("ac3");
+  ASSERT_NE(ac3, nullptr);
+  const InstanceVerdict cached = check_instance_dpor(*ac3);
+  EXPECT_FALSE(cached.violation.has_value());
+  EXPECT_EQ(cached.result.exhaustiveness, Exhaustiveness::kFull);
+  EXPECT_GT(cached.result.runs_pruned_by_state_cache, 0u);
+
+  DporOptions no_cache = ac3->dpor;
+  no_cache.state_cache = false;
+  const InstanceVerdict plain = check_instance_dpor(*ac3, no_cache);
+  EXPECT_FALSE(plain.violation.has_value());
+  EXPECT_EQ(plain.result.runs_pruned_by_state_cache, 0u);
+  EXPECT_EQ(plain.result.final_states, cached.result.final_states);
+}
+
+TEST(Dpor, CyclePruneExhaustsSpinningReceiver) {
+  // pingpong2's starving schedules spin forever; only the state cache's
+  // open-entry (cycle) prune makes the exploration finite. This is the
+  // instance the DFS fundamentally cannot exhaust.
+  const Instance* inst = find_instance("pingpong2");
+  ASSERT_NE(inst, nullptr);
+  ASSERT_FALSE(inst->dfs_feasible);
+  const InstanceVerdict v = check_instance_dpor(*inst);
+  EXPECT_FALSE(v.violation.has_value());
+  EXPECT_EQ(v.result.exhaustiveness, Exhaustiveness::kFull);
+  EXPECT_GT(v.result.runs_pruned_by_state_cache, 0u);
+}
+
+// -- envelope validation -----------------------------------------------------
+
+TEST(Dpor, ValidateExplorableRejectsUnsoundConfigs) {
+  const auto reject = [](void (*tweak)(SimConfig&)) {
+    SimConfig cfg;
+    cfg.gsm = graph::complete(2);
+    cfg.min_delay = 1;
+    cfg.max_delay = 1;
+    tweak(cfg);
+    EXPECT_THROW(validate_explorable(cfg), runtime::ConfigError);
+  };
+  reject(+[](SimConfig& c) { c.max_delay = 2; });                       // long delay
+  reject(+[](SimConfig& c) { c.min_delay = 0; });                       // variable delay
+  reject(+[](SimConfig& c) {
+    c.link_type = runtime::LinkType::kFairLossy;
+    c.drop_prob = 0.1;
+  });
+  reject(+[](SimConfig& c) { c.partition = runtime::Partition{1, 0, 8}; });
+  reject(+[](SimConfig& c) { c.crash_at = {std::nullopt, Step{5}}; });  // mid-run crash
+  reject(+[](SimConfig& c) { c.memory_fail_at = {Step{3}, std::nullopt}; });
+
+  SimConfig ok;
+  ok.gsm = graph::complete(2);
+  ok.min_delay = 1;
+  ok.max_delay = 1;
+  ok.crash_at = {std::nullopt, Step{0}};  // initially dead: inside the envelope
+  EXPECT_NO_THROW(validate_explorable(ok));
+}
+
+}  // namespace
+}  // namespace mm::check

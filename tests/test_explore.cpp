@@ -260,6 +260,60 @@ TEST(Explore, RwConsensusExhaustiveWithinPreemptionBound) {
               static_cast<unsigned long long>(result.runs));
 }
 
+TEST(Explore, ExhaustivenessContract) {
+  // Pins the ExploreResult reporting contract (referenced from explore.hpp):
+  // the legacy `exhaustive` flag only says the *explored* tree was covered —
+  // `exhaustiveness` carries the precise claim. The DFS has no state cache,
+  // so its prune counters must stay zero, and final states are collected
+  // only on request.
+  auto make = []() {
+    SimConfig cfg;
+    cfg.gsm = graph::complete(2);
+    cfg.seed = 19;
+    auto rt = std::make_unique<SimRuntime>(cfg);
+    for (int p = 0; p < 2; ++p)
+      rt->add_process([](Env& env) {
+        env.step();
+        env.step();
+      });
+    return rt;
+  };
+  const auto none = [](SimRuntime&) {};
+
+  // Unbounded + exhausted: the unconditional claim.
+  ExploreOptions opts;
+  opts.collect_final_states = true;
+  const auto full = explore_schedules(make, none, opts);
+  EXPECT_TRUE(full.exhaustive);
+  EXPECT_EQ(full.exhaustiveness, Exhaustiveness::kFull);
+  EXPECT_EQ(full.runs_pruned_by_state_cache, 0u);
+  EXPECT_EQ(full.runs_pruned_by_sleep_set, 0u);
+  // Independent steppers touch no shared state: one reachable final state.
+  EXPECT_EQ(full.final_states.size(), 1u);
+
+  // Bound set + exhausted: the legacy flag still reads true, but the
+  // precise claim is the weaker, bound-conditional one.
+  ExploreOptions bounded = opts;
+  bounded.max_preemptions = 0;
+  const auto within = explore_schedules(make, none, bounded);
+  EXPECT_TRUE(within.exhaustive);
+  EXPECT_EQ(within.exhaustiveness, Exhaustiveness::kWithinPreemptionBound);
+
+  // Run budget expires first: nothing exhaustive may be claimed, with or
+  // without a preemption bound.
+  ExploreOptions truncated = opts;
+  truncated.max_runs = 3;
+  const auto cut = explore_schedules(make, none, truncated);
+  EXPECT_FALSE(cut.exhaustive);
+  EXPECT_EQ(cut.runs, 3u);
+  EXPECT_EQ(cut.exhaustiveness, Exhaustiveness::kBudgetTruncated);
+
+  // Final states are opt-in.
+  ExploreOptions quiet;
+  quiet.collect_final_states = false;
+  EXPECT_TRUE(explore_schedules(make, none, quiet).final_states.empty());
+}
+
 TEST(Explore, MutualExclusionBoundedExploration) {
   // Two contenders, one critical section each. The waiter's spin loop makes
   // the schedule tree infinite (arbitrarily many spin iterations can be

@@ -1,0 +1,211 @@
+// tools/check — drive the model checker over the canonical instance corpus.
+//
+// Subcommands:
+//   check list
+//     Print every registered instance with its tuned budgets and whether the
+//     naive DFS baseline is feasible for it.
+//
+//   check run NAME... [--dfs] [--max-runs N] [--max-steps N] [--bound K]
+//                     [--frontier D] [--jobs J] [--no-cache] [--no-sleep]
+//     Explore the named instances (or 'all') with the DPOR explorer (default)
+//     or the naive DFS. Exit 0 when every clean instance verifies clean and
+//     every planted-bug instance produces its violation; 1 otherwise.
+//
+//   check diff NAME...
+//     Differential mode: run DFS and DPOR on each instance (DFS-feasible
+//     ones only, unless named explicitly) and require the same verdict AND
+//     the same reachable final-state set, with DPOR using no more replays.
+//
+// Everything here is deterministic: rerunning a command reproduces the same
+// run counts and verdicts bit-for-bit at any --jobs / MM_JOBS value.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/instances.hpp"
+
+namespace {
+
+using namespace mm;
+using namespace mm::check;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: check list\n"
+               "       check run NAME... [--dfs] [--max-runs N] [--max-steps N]\n"
+               "                 [--bound K] [--frontier D] [--jobs J]\n"
+               "                 [--no-cache] [--no-sleep]\n"
+               "       check diff NAME...\n"
+               "(NAME may be 'all')\n");
+  return 2;
+}
+
+std::vector<const Instance*> resolve(const std::vector<std::string>& names, bool* ok) {
+  std::vector<const Instance*> out;
+  *ok = true;
+  for (const std::string& n : names) {
+    if (n == "all") {
+      for (const Instance& i : instances()) out.push_back(&i);
+      continue;
+    }
+    const Instance* i = find_instance(n);
+    if (i == nullptr) {
+      std::fprintf(stderr, "check: unknown instance '%s' (try 'check list')\n", n.c_str());
+      *ok = false;
+      continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+void print_result(const char* engine, const InstanceVerdict& v) {
+  const ExploreResult& r = v.result;
+  std::printf("  %s: %llu runs (%llu cache-pruned, %llu sleep-pruned), %s, "
+              "%zu final state(s)\n",
+              engine, static_cast<unsigned long long>(r.runs),
+              static_cast<unsigned long long>(r.runs_pruned_by_state_cache),
+              static_cast<unsigned long long>(r.runs_pruned_by_sleep_set),
+              to_string(r.exhaustiveness), r.final_states.size());
+  if (v.violation)
+    std::printf("  VIOLATION on verified run %llu: %s\n",
+                static_cast<unsigned long long>(v.violation_run), v.violation->c_str());
+}
+
+/// True when the outcome matches the instance's contract (clean instances
+/// verify clean and exhaust; planted ones produce their violation).
+bool verdict_ok(const Instance& inst, const InstanceVerdict& v) {
+  if (inst.expect_violation) return v.violation.has_value();
+  return !v.violation.has_value();
+}
+
+int cmd_list() {
+  for (const Instance& i : instances()) {
+    std::printf("%-14s %s\n", i.name.c_str(), i.description.c_str());
+    std::printf("%-14s   dpor: max-runs=%llu max-steps=%llu%s%s; dfs: %s%s\n", "",
+                static_cast<unsigned long long>(i.dpor.max_runs),
+                static_cast<unsigned long long>(i.dpor.max_steps_per_run),
+                i.dpor.idle_slice_collapse ? " +idle-collapse" : "",
+                i.expect_violation ? " [planted bug]" : "",
+                i.dfs_feasible ? "feasible" : "infeasible (spin/blowup)",
+                i.expect_violation ? "" : "");
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  std::vector<std::string> names;
+  bool use_dfs = false;
+  DporOptions dpor_over;
+  ExploreOptions dfs_over;
+  bool have_max_runs = false, have_max_steps = false, have_bound = false;
+  bool no_cache = false, no_sleep = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error{"missing value for " + a};
+      return argv[++i];
+    };
+    if (a == "--dfs") use_dfs = true;
+    else if (a == "--max-runs") { dpor_over.max_runs = dfs_over.max_runs = std::strtoull(next(), nullptr, 10); have_max_runs = true; }
+    else if (a == "--max-steps") { dpor_over.max_steps_per_run = dfs_over.max_steps_per_run = std::strtoull(next(), nullptr, 10); have_max_steps = true; }
+    else if (a == "--bound") { const auto k = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10)); dpor_over.max_preemptions = k; dfs_over.max_preemptions = k; have_bound = true; }
+    else if (a == "--frontier") dpor_over.frontier_depth = std::strtoull(next(), nullptr, 10);
+    else if (a == "--jobs") dpor_over.jobs = std::strtoull(next(), nullptr, 10);
+    else if (a == "--no-cache") no_cache = true;
+    else if (a == "--no-sleep") no_sleep = true;
+    else if (!a.empty() && a[0] == '-') return usage();
+    else names.push_back(a);
+  }
+  if (names.empty()) return usage();
+  bool ok = true;
+  const std::vector<const Instance*> picked = resolve(names, &ok);
+
+  for (const Instance* inst : picked) {
+    std::printf("%s — %s\n", inst->name.c_str(), inst->description.c_str());
+    InstanceVerdict v;
+    if (use_dfs) {
+      ExploreOptions o = inst->dfs;
+      if (have_max_runs) o.max_runs = dfs_over.max_runs;
+      if (have_max_steps) o.max_steps_per_run = dfs_over.max_steps_per_run;
+      if (have_bound) o.max_preemptions = dfs_over.max_preemptions;
+      v = check_instance_dfs(*inst, o);
+      print_result("dfs", v);
+    } else {
+      DporOptions o = inst->dpor;
+      if (have_max_runs) o.max_runs = dpor_over.max_runs;
+      if (have_max_steps) o.max_steps_per_run = dpor_over.max_steps_per_run;
+      if (have_bound) o.max_preemptions = dpor_over.max_preemptions;
+      o.frontier_depth = dpor_over.frontier_depth;
+      o.jobs = dpor_over.jobs;
+      if (no_cache) o.state_cache = false;
+      if (no_sleep) o.sleep_sets = false;
+      v = check_instance_dpor(*inst, o);
+      print_result("dpor", v);
+    }
+    if (!verdict_ok(*inst, v)) {
+      std::printf("  FAIL: %s\n", inst->expect_violation
+                                      ? "planted bug was not found"
+                                      : "clean instance produced a violation");
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_diff(int argc, char** argv) {
+  std::vector<std::string> names;
+  for (int i = 0; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) return usage();
+  const bool explicit_names = names.size() != 1 || names[0] != "all";
+  bool ok = true;
+  const std::vector<const Instance*> picked = resolve(names, &ok);
+
+  for (const Instance* inst : picked) {
+    if (!inst->dfs_feasible && !explicit_names) continue;
+    std::printf("%s\n", inst->name.c_str());
+    ExploreOptions dfs_opts = inst->dfs;
+    dfs_opts.collect_final_states = true;
+    DporOptions dpor_opts = inst->dpor;
+    dpor_opts.collect_final_states = true;
+    const InstanceVerdict a = check_instance_dfs(*inst, dfs_opts);
+    const InstanceVerdict b = check_instance_dpor(*inst, dpor_opts);
+    print_result("dfs", a);
+    print_result("dpor", b);
+    if (a.violation.has_value() != b.violation.has_value()) {
+      std::printf("  FAIL: verdicts differ\n");
+      ok = false;
+    } else if (!a.violation && a.result.final_states != b.result.final_states) {
+      std::printf("  FAIL: reachable final-state sets differ (%zu vs %zu)\n",
+                  a.result.final_states.size(), b.result.final_states.size());
+      ok = false;
+    } else if (!a.violation && b.result.runs > a.result.runs) {
+      std::printf("  FAIL: DPOR used more replays than the naive DFS\n");
+      ok = false;
+    } else {
+      const double ratio = b.result.runs == 0
+                               ? 0.0
+                               : static_cast<double>(a.result.runs) /
+                                     static_cast<double>(b.result.runs);
+      std::printf("  ok: identical verdict + final states; reduction %.1fx\n", ratio);
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
