@@ -8,12 +8,21 @@
 //
 // Part B (real threads): the same HBO objects under ThreadRuntime, showing
 // the algorithm is runtime-agnostic and the wall time at real concurrency.
+//
+// Part C (simulator, coroutine backend): one run at n = 10^6 processes on
+// pooled guardless stacks — the fiber-population scale a per-process OS
+// thread (or a per-fiber guarded mapping, which costs two VMAs against
+// vm.max_map_count) cannot reach. Override n with MM_E8_N.
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "core/hbo.hpp"
 #include "core/trial.hpp"
 #include "exec/parallel_map.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
 
 namespace {
@@ -43,6 +52,77 @@ double thread_hbo_ms(std::size_t n, std::uint64_t seed) {
     MM_ASSERT_MSG(algs[p]->decision() == algs[0]->decision(), "agreement violated");
   }
   return ms;
+}
+
+/// Peak resident set (VmHWM) in MiB, from /proc/self/status; 0 if unreadable.
+double vm_hwm_mib() {
+  std::ifstream status{"/proc/self/status"};
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream in{line.substr(6)};
+      double kib = 0;
+      in >> kib;
+      return kib / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+/// One token ring over n fiber processes: each sends once to its successor,
+/// then drains and steps until stopped. Edgeless GSM (no registers), so the
+/// run isolates the pure scheduling + messaging cost at population scale.
+int million_fiber_run(std::size_t n) {
+  using namespace mm;
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::edgeless(n);
+  cfg.seed = 8;
+  cfg.backend = runtime::SimBackend::kCoroutine;
+  cfg.fiber_stack_bytes = 32 * 1024;
+  cfg.pooled_fiber_stacks = true;
+  runtime::SimRuntime rt{cfg};
+  for (std::uint32_t p = 0; p < n; ++p) {
+    rt.add_process([p, n](runtime::Env& env) {
+      runtime::Message m;
+      m.kind = 1;
+      env.send(Pid{static_cast<std::uint32_t>((p + 1) % n)}, m);
+      std::vector<runtime::Message> drained;
+      while (!env.stop_requested()) {
+        env.drain_inbox(drained);
+        env.step();
+      }
+    });
+  }
+  bench::WallTimer construct;
+  rt.start();
+  const double construct_ms = construct.ms();
+
+  const Step steps = static_cast<Step>(n) * 4;  // ~4 activations per process
+  bench::WallTimer timer;
+  rt.run_steps(steps);
+  const double run_ms = timer.ms();
+
+  Table c{{"n", "construct ms", "steps", "steps/sec", "VmHWM MiB"}};
+  c.row()
+      .cell(n)
+      .cell(construct_ms, 0)
+      .cell(static_cast<double>(steps), 0)
+      .cell(static_cast<double>(steps) / (run_ms / 1'000.0), 0)
+      .cell(vm_hwm_mib(), 0);
+  c.print();
+
+  // Let every token land: with uniform scheduling a process goes unscheduled
+  // for ~n ln n steps in the worst case (coupon collector), so keep running
+  // n-step batches until all n sends have been drained by their receivers.
+  for (int batch = 0; batch < 64 && rt.metrics().msgs_delivered < n; ++batch)
+    rt.run_steps(static_cast<Step>(n));
+  if (rt.metrics().msgs_delivered < n) {
+    std::printf("!! token ring stalled: %llu of %zu tokens delivered\n",
+                static_cast<unsigned long long>(rt.metrics().msgs_delivered), n);
+    return 1;
+  }
+  rt.shutdown();
+  return 0;
 }
 
 }  // namespace
@@ -102,5 +182,11 @@ int main() {
     b.row().cell(n).cell(ms.mean(), 1);
   }
   b.print();
-  return 0;
+
+  std::size_t big_n = 1'000'000;
+  if (const char* env_n = std::getenv("MM_E8_N")) big_n = std::strtoull(env_n, nullptr, 10);
+  std::printf("\nPart C: one run at n=%zu fiber processes (coroutine backend,\n"
+              "pooled 32 KiB guardless stacks; override n with MM_E8_N)\n",
+              big_n);
+  return million_fiber_run(big_n);
 }

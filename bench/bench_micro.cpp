@@ -19,6 +19,8 @@
 #include <string>
 #include <thread>
 
+#include "common/alloc_count.hpp"
+#include "common/slab.hpp"
 #include "core/hbo.hpp"
 #include "core/tags.hpp"
 #include "core/trial.hpp"
@@ -239,6 +241,58 @@ double measure_handoffs_per_sec(std::uint64_t handoffs) {
   return rate;
 }
 
+// Heap traffic per steady-state step on a messaging workload (a 4-process
+// ring exchanging spilled 9-tuple payloads every step — the same shape the
+// AllocInvariant test pins to zero). Returns {allocs_per_step,
+// bytes_per_step}; {0, 0} when the counting operators are compiled out.
+struct AllocRates {
+  double allocs_per_step = 0.0;
+  double bytes_per_step = 0.0;
+};
+
+AllocRates measure_alloc_rates(Step steps) {
+  if (!common::alloc_counting_active()) return {};
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::complete(4);
+  cfg.seed = 2026;
+  runtime::SimRuntime rt{cfg};
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    rt.add_process([p](runtime::Env& env) {
+      std::vector<runtime::Message> drained;
+      drained.reserve(64);  // past any starvation-stretch drain batch
+      runtime::Message m;
+      m.kind = 7;
+      for (std::uint32_t i = 0; i < runtime::TupleVec::kInline + 1; ++i)
+        m.tuples.push_back(runtime::RepTuple{Pid{i % 4}, i});
+      for (;;) {
+        m.round = env.now();
+        env.send(Pid{(p + 1) % 4}, m);
+        env.drain_inbox(drained);
+        env.step();
+      }
+    });
+  }
+  rt.run_steps(20'000);  // warm up scratch vectors and pending queues
+  {
+    // Deepen the slab free list past any in-flight high-water mark (pool
+    // depth is warmup state; see tests/test_memory_layout.cpp).
+    common::SlabPool& pool = common::SlabPool::local();
+    constexpr int kDepth = 256;
+    void* blocks[kDepth];
+    std::size_t granted[kDepth];
+    for (int i = 0; i < kDepth; ++i) {
+      granted[i] = (runtime::TupleVec::kInline + 1) * sizeof(runtime::RepTuple);
+      blocks[i] = pool.acquire(granted[i]);
+    }
+    for (int i = 0; i < kDepth; ++i) pool.release(blocks[i], granted[i]);
+  }
+  const auto before = common::alloc_counts();
+  rt.run_steps(steps);
+  const auto delta = common::alloc_counts() - before;
+  return {static_cast<double>(delta.allocs) / static_cast<double>(steps),
+          static_cast<double>(delta.bytes) / static_cast<double>(steps)};
+}
+
 struct SweepTiming {
   core::TerminationSweep sweep;
   double trials_per_sec = 0.0;
@@ -284,6 +338,7 @@ int write_bench_runtime_json() {
   const double steps_thread =
       measure_steps_per_sec(quick ? step_count : step_count / 4, runtime::SimBackend::kThread);
   const double handoffs_per_sec = measure_handoffs_per_sec(quick ? 200'000 : 2'000'000);
+  const AllocRates alloc_rates = measure_alloc_rates(quick ? 50'000 : 500'000);
 
   (void)measure_trials_per_sec(jobs, trials > 8 ? 8 : trials);  // warm up
   const SweepTiming seq = measure_trials_per_sec(1, trials);
@@ -307,7 +362,7 @@ int write_bench_runtime_json() {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 2,\n"
+               "  \"schema\": 3,\n"
                "  \"quick\": %s,\n"
                "  \"jobs\": %zu,\n"
                "  \"hardware_concurrency\": %u,\n"
@@ -316,6 +371,9 @@ int write_bench_runtime_json() {
                "  \"sim_steps_per_sec_coroutine\": %.1f,\n"
                "  \"sim_steps_per_sec_thread\": %.1f,\n"
                "  \"handoffs_per_sec\": %.1f,\n"
+               "  \"alloc_counting_active\": %s,\n"
+               "  \"allocs_per_step\": %.6f,\n"
+               "  \"bytes_per_step\": %.4f,\n"
                "  \"trials\": %llu,\n"
                "  \"trials_per_sec_seq\": %.3f,\n"
                "  \"trials_per_sec_par\": %.3f,\n"
@@ -325,7 +383,9 @@ int write_bench_runtime_json() {
                "}\n",
                quick ? "true" : "false", jobs, std::thread::hardware_concurrency(),
                to_string(runtime::default_sim_backend()), steps_per_sec, steps_coroutine,
-               steps_thread, handoffs_per_sec, static_cast<unsigned long long>(trials),
+               steps_thread, handoffs_per_sec,
+               common::alloc_counting_active() ? "true" : "false", alloc_rates.allocs_per_step,
+               alloc_rates.bytes_per_step, static_cast<unsigned long long>(trials),
                seq.trials_per_sec, par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,
                deterministic ? "true" : "false", backend_invariant ? "true" : "false");
   std::fclose(f);
@@ -335,6 +395,9 @@ int write_bench_runtime_json() {
   std::printf("  coroutine backend  : %.0f steps/sec\n", steps_coroutine);
   std::printf("  thread backend     : %.0f steps/sec\n", steps_thread);
   std::printf("  fiber handoffs/sec : %.0f\n", handoffs_per_sec);
+  std::printf("  allocs/step        : %.6f (%.2f bytes/step%s)\n", alloc_rates.allocs_per_step,
+              alloc_rates.bytes_per_step,
+              common::alloc_counting_active() ? "" : "; counting inactive");
   std::printf("  trials/sec (seq)   : %.2f\n", seq.trials_per_sec);
   std::printf("  trials/sec (%zu job%s): %.2f  (speedup %.2fx, deterministic: %s)\n", jobs,
               jobs == 1 ? "" : "s", par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,

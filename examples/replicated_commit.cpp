@@ -65,10 +65,12 @@ TxnResult run_transaction(const mm::graph::Graph& gsm, const std::vector<std::ui
 
       std::vector<int> seen(n, -1);
       std::vector<mm::runtime::Message> foreign;  // early consensus traffic
+      std::vector<mm::runtime::Message> drained;
       std::size_t have = 0;
       constexpr int kTimeoutSteps = 4'000;
       for (int t = 0; t < kTimeoutSteps && have < n; ++t) {
-        for (auto& m : env.drain_inbox()) {
+        env.drain_inbox(drained);
+        for (auto& m : drained) {
           if (m.kind == kMsgVote) {
             if (seen[m.from.index()] < 0) {
               seen[m.from.index()] = static_cast<int>(m.value);

@@ -16,7 +16,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-sanitize}
-FILTER=${GTEST_FILTER:-'Fiber.*:BackendDiff.*:SimRuntime.*:SimEnv.*:SimConfigValidate.*:Jobs.*:ParallelMap.*:TrialEngine.*:SweepTermination.*:ThreadRuntime.*:FaultEngine.*:FaultJson.*:ChaosCampaign.*:ChaosShrink.*:Explore.*:Dpor.*'}
+FILTER=${GTEST_FILTER:-'Fiber.*:BackendDiff.*:TupleVec.*:SlabPool.*:AllocInvariant.*:SimRuntime.*:SimEnv.*:SimConfigValidate.*:Jobs.*:ParallelMap.*:TrialEngine.*:SweepTermination.*:ThreadRuntime.*:FaultEngine.*:FaultJson.*:ChaosCampaign.*:ChaosShrink.*:Explore.*:Dpor.*'}
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMM_SANITIZE=ON

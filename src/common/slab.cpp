@@ -1,0 +1,74 @@
+#include "common/slab.hpp"
+
+#include <new>
+
+#include "common/assert.hpp"
+
+namespace mm::common {
+
+namespace {
+
+constexpr std::size_t class_bytes(std::size_t idx) noexcept {
+  return SlabPool::kMinBlock << idx;
+}
+
+}  // namespace
+
+SlabPool::~SlabPool() {
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (Node* n = free_[c]; n != nullptr;) {
+      Node* next = n->next;
+      ::operator delete(static_cast<void*>(n));
+      n = next;
+    }
+    free_[c] = nullptr;
+  }
+}
+
+std::size_t SlabPool::class_index(std::size_t bytes) noexcept {
+  std::size_t idx = 0;
+  std::size_t cap = kMinBlock;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+void* SlabPool::acquire(std::size_t& bytes) {
+  if (bytes > kMaxBlock) {
+    // Oversized: straight to the heap, granted capacity = requested.
+    ++stats_.heap_allocs;
+    return ::operator new(bytes);
+  }
+  const std::size_t idx = class_index(bytes);
+  bytes = class_bytes(idx);
+  Node* head = free_[idx];
+  if (head != nullptr) {
+    free_[idx] = head->next;
+    ++stats_.reuses;
+    return static_cast<void*>(head);
+  }
+  ++stats_.heap_allocs;
+  return ::operator new(bytes);
+}
+
+void SlabPool::release(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes > kMaxBlock) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t idx = class_index(bytes);
+  MM_ASSERT_MSG(class_bytes(idx) == bytes, "release size must be an acquire-granted class");
+  auto* node = static_cast<Node*>(p);
+  node->next = free_[idx];
+  free_[idx] = node;
+}
+
+SlabPool& SlabPool::local() noexcept {
+  thread_local SlabPool pool;
+  return pool;
+}
+
+}  // namespace mm::common

@@ -1,0 +1,64 @@
+// Size-class free-list slab pool for small, short-lived POD blocks.
+//
+// The simulator's message hot path needs spill storage for payloads that
+// outgrow their inline buffer (runtime/message.hpp). Getting that storage
+// from the global heap would put an allocation on every oversized send —
+// exactly the per-step heap traffic this pool exists to kill: blocks are
+// handed back to a per-class intrusive free list on release and reused on
+// the next acquire, so steady-state traffic touches the heap zero times
+// (pinned by the allocation-counting tests; see common/alloc_count.hpp).
+//
+// One pool per thread (SlabPool::local). Acquire and release must happen on
+// the same thread — true for everything simulator-internal, where a
+// SimRuntime and all its fibers live on one worker thread. Blocks are
+// returned to the heap only when the owning thread exits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mm::common {
+
+class SlabPool {
+ public:
+  /// Smallest / largest pooled block in bytes (powers of two between them
+  /// are the size classes). Requests above kMaxBlock fall through to the
+  /// global heap — they are rare, huge, and not worth caching.
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kMaxBlock = 64 * 1024;
+
+  SlabPool() = default;
+  ~SlabPool();
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Round `bytes` up to its size class, pop a cached block or carve a fresh
+  /// one from the heap. On return `bytes` holds the granted capacity (the
+  /// class size), which the caller must pass back to release().
+  [[nodiscard]] void* acquire(std::size_t& bytes);
+
+  /// Return a block of `bytes` (as granted by acquire) to its free list.
+  void release(void* p, std::size_t bytes) noexcept;
+
+  struct Stats {
+    std::uint64_t heap_allocs = 0;  ///< blocks carved from the global heap
+    std::uint64_t reuses = 0;       ///< acquires served from a free list
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// The calling thread's pool.
+  [[nodiscard]] static SlabPool& local() noexcept;
+
+ private:
+  struct Node {
+    Node* next;
+  };
+
+  static constexpr std::size_t kClasses = 11;  // 64 << 10 == 64 KiB
+  [[nodiscard]] static std::size_t class_index(std::size_t bytes) noexcept;
+
+  Node* free_[kClasses] = {};
+  Stats stats_;
+};
+
+}  // namespace mm::common

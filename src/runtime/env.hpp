@@ -39,15 +39,10 @@ class Env {
   /// Move every message delivered to this process and not yet consumed into
   /// `out` (cleared first), in delivery order. Non-blocking; never surfaces
   /// undelivered messages. Reusing one `out` buffer across calls recycles
-  /// its capacity — the allocation-free form every per-step receive loop
-  /// should use.
+  /// its capacity, so a steady-state receive loop never allocates. (This is
+  /// deliberately the only form: an allocating convenience overload existed
+  /// once and every call site drifted onto it.)
   virtual void drain_inbox(std::vector<Message>& out) = 0;
-  /// Convenience form: returns a freshly allocated vector per call.
-  [[nodiscard]] std::vector<Message> drain_inbox() {
-    std::vector<Message> out;
-    drain_inbox(out);
-    return out;
-  }
 
   // -- shared memory (uniform domain from GSM, §3) ---------------------------
   /// Resolve a register name to a handle, materialising the register (value

@@ -20,13 +20,30 @@ namespace {
 
 class FiberExec final : public ProcExec {
  public:
-  explicit FiberExec(std::function<void()> body) : fiber_(std::move(body)) {}
+  FiberExec(std::function<void()> body, std::size_t stack_bytes)
+      : fiber_(std::move(body),
+               stack_bytes == 0 ? Fiber::kDefaultStackBytes : stack_bytes) {}
+
+  FiberExec(std::function<void()> body, FiberStackPool& pool)
+      : pool_(&pool),
+        stack_lo_(pool.acquire()),
+        fiber_(std::move(body), stack_lo_, pool.stack_bytes()) {}
+
+  ~FiberExec() override {
+    // Recycling here (before fiber_'s destructor) is safe: release() only
+    // records the pointer, and fiber_ never touches an external stack again
+    // once it is done.
+    if (pool_ != nullptr) pool_->release(stack_lo_);
+  }
 
   void resume() override { fiber_.resume(); }
   void yield() override { fiber_.yield(); }
   void join() override {}
+  Fiber* fiber() noexcept override { return &fiber_; }
 
  private:
+  FiberStackPool* pool_ = nullptr;
+  void* stack_lo_ = nullptr;
   Fiber fiber_;
 };
 
@@ -88,12 +105,15 @@ SimBackend default_sim_backend() {
   return SimBackend::kCoroutine;
 }
 
-std::unique_ptr<ProcExec> make_proc_exec(SimBackend backend, std::function<void()> body) {
+std::unique_ptr<ProcExec> make_proc_exec(SimBackend backend, std::function<void()> body,
+                                         const ExecOptions& opts) {
   switch (backend) {
     case SimBackend::kThread: return std::make_unique<ThreadExec>(std::move(body));
     case SimBackend::kCoroutine: break;
   }
-  return std::make_unique<FiberExec>(std::move(body));
+  if (opts.stack_pool != nullptr)
+    return std::make_unique<FiberExec>(std::move(body), *opts.stack_pool);
+  return std::make_unique<FiberExec>(std::move(body), opts.fiber_stack_bytes);
 }
 
 }  // namespace mm::runtime

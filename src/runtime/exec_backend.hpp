@@ -22,6 +22,9 @@
 
 namespace mm::runtime {
 
+class Fiber;
+class FiberStackPool;
+
 enum class SimBackend : std::uint8_t {
   kCoroutine,  ///< userspace fiber handoff (default)
   kThread,     ///< parked-OS-thread handoff (reference semantics)
@@ -55,14 +58,32 @@ class ProcExec {
   /// for fibers). Callers must drain the body to completion first.
   virtual void join() = 0;
 
+  /// The underlying fiber when this context is fiber-backed, else null.
+  /// Schedulers cache it to hand off via the inline Fiber fast path instead
+  /// of a virtual call per step.
+  [[nodiscard]] virtual Fiber* fiber() noexcept { return nullptr; }
+
  protected:
   ProcExec() = default;
+};
+
+/// Knobs for make_proc_exec (coroutine backend only; the thread backend
+/// ignores them).
+struct ExecOptions {
+  /// Usable stack bytes per fiber; 0 = Fiber::kDefaultStackBytes.
+  std::size_t fiber_stack_bytes = 0;
+  /// When set, fiber stacks come from this pool (guardless, dense; see
+  /// FiberStackPool) instead of one guarded mapping per fiber. Non-owning;
+  /// the pool must outlive the execution context. Overrides
+  /// fiber_stack_bytes — the pool fixes the stack size.
+  FiberStackPool* stack_pool = nullptr;
 };
 
 /// Create the execution context for one process. `body` is the complete
 /// process wrapper — kill check, exception capture, finished flag — and must
 /// not throw. The context starts suspended; nothing runs until resume().
 [[nodiscard]] std::unique_ptr<ProcExec> make_proc_exec(SimBackend backend,
-                                                       std::function<void()> body);
+                                                       std::function<void()> body,
+                                                       const ExecOptions& opts = {});
 
 }  // namespace mm::runtime

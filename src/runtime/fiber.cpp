@@ -18,15 +18,8 @@
 // context switching *away* announces the destination stack, and the context
 // switching *in* finalises with the fake-stack handle it saved when it last
 // left. A null handle on the final switch out of a dying fiber tells ASan to
-// free that fiber's fake stack.
-#if defined(__SANITIZE_ADDRESS__)
-#define MM_FIBER_ASAN 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define MM_FIBER_ASAN 1
-#endif
-#endif
-
+// free that fiber's fake stack. (MM_FIBER_ASAN is defined in fiber.hpp,
+// where it also disables the inline switch fast path.)
 #if defined(MM_FIBER_ASAN)
 extern "C" {
 void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
@@ -55,12 +48,19 @@ std::size_t round_up(std::size_t v, std::size_t align) {
 // ---------------------------------------------------------------------------
 // x86-64 fast path: save/restore the System V callee-saved register set.
 //
-// mm_fiber_switch(save_sp, target_sp) pushes rbp/rbx/r12–r15 plus the x87
-// control word and MXCSR onto the current stack, parks the resulting stack
-// pointer in *save_sp, adopts target_sp, and unwinds the mirror-image frame
-// there. A brand-new fiber's stack is pre-seeded (see init_frame) with a
-// frame whose return address is mm_fiber_trampoline, which forwards the
-// Fiber* parked in r12 to the C++ entry thunk parked in rbx.
+// mm_fiber_switch(save_sp, target_sp) pushes rbp/rbx/r12–r15 onto the
+// current stack, parks the resulting stack pointer in *save_sp, adopts
+// target_sp, and unwinds the mirror-image frame there. A brand-new fiber's
+// stack is pre-seeded (see init_frame) with a frame whose return address is
+// mm_fiber_trampoline, which forwards the Fiber* parked in r12 to the C++
+// entry thunk parked in rbx.
+//
+// Deliberately NOT saved: the x87 control word and MXCSR. Saving them is
+// what a general-purpose fiber library does (a fiber could change rounding
+// or exception masks), but no code that ever runs on these fibers touches
+// FP control state, so both sides of every switch agree on the power-on
+// defaults and the two serializing fldcw/ldmxcsr per handoff would be pure
+// overhead on the simulator's hottest path.
 // ---------------------------------------------------------------------------
 
 extern "C" {
@@ -83,14 +83,8 @@ __asm__(
     "  pushq %r13\n"
     "  pushq %r14\n"
     "  pushq %r15\n"
-    "  subq $8, %rsp\n"
-    "  stmxcsr 4(%rsp)\n"
-    "  fnstcw (%rsp)\n"
     "  movq %rsp, (%rdi)\n"
     "  movq %rsi, %rsp\n"
-    "  fldcw (%rsp)\n"
-    "  ldmxcsr 4(%rsp)\n"
-    "  addq $8, %rsp\n"
     "  popq %r15\n"
     "  popq %r14\n"
     "  popq %r13\n"
@@ -120,26 +114,23 @@ extern "C" void mm_fiber_entry_thunk(void* self) {
 namespace {
 
 /// Seed a fresh stack with the frame mm_fiber_switch expects to restore.
-/// Layout (ascending from the returned sp): [fcw|mxcsr] r15 r14 r13 r12 rbx
-/// rbp ret — with r12 = the Fiber* and rbx = the entry thunk, consumed by
-/// mm_fiber_trampoline. Alignment: `top` is 16-aligned and the frame is 64
-/// bytes of pops + 8 of ret below a 16-byte scratch gap, which lands the
-/// trampoline's rsp 16-aligned exactly as the ABI requires at a call site.
+/// Layout (ascending from the returned sp): r15 r14 r13 r12 rbx rbp ret —
+/// with r12 = the Fiber* and rbx = the entry thunk, consumed by
+/// mm_fiber_trampoline. Alignment: `top` is 16-aligned and the frame is 48
+/// bytes of pops + 8 of ret seeded at top-72 (≡ 8 mod 16), so after the six
+/// pops and the ret the trampoline runs with rsp = top-16, 16-aligned
+/// exactly as the ABI requires at its call site.
 void* init_frame(void* stack_lo, std::size_t stack_bytes, Fiber* self) {
   std::uintptr_t top = reinterpret_cast<std::uintptr_t>(stack_lo) + stack_bytes;
   top &= ~static_cast<std::uintptr_t>(15);
-  auto* frame = reinterpret_cast<std::uint64_t*>(top - 80);
-  std::uint32_t mxcsr = 0;
-  std::uint16_t fcw = 0;
-  __asm__ volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
-  frame[0] = static_cast<std::uint64_t>(fcw) | (static_cast<std::uint64_t>(mxcsr) << 32);
-  frame[1] = 0;  // r15
-  frame[2] = 0;  // r14
-  frame[3] = 0;  // r13
-  frame[4] = reinterpret_cast<std::uint64_t>(self);                  // r12
-  frame[5] = reinterpret_cast<std::uint64_t>(&mm_fiber_entry_thunk); // rbx
-  frame[6] = 0;                                                      // rbp
-  frame[7] = reinterpret_cast<std::uint64_t>(&mm_fiber_trampoline);  // ret
+  auto* frame = reinterpret_cast<std::uint64_t*>(top - 72);
+  frame[0] = 0;  // r15
+  frame[1] = 0;  // r14
+  frame[2] = 0;  // r13
+  frame[3] = reinterpret_cast<std::uint64_t>(self);                  // r12
+  frame[4] = reinterpret_cast<std::uint64_t>(&mm_fiber_entry_thunk); // rbx
+  frame[5] = 0;                                                      // rbp
+  frame[6] = reinterpret_cast<std::uint64_t>(&mm_fiber_trampoline);  // ret
   return frame;
 }
 
@@ -147,20 +138,7 @@ void* init_frame(void* stack_lo, std::size_t stack_bytes, Fiber* self) {
 
 #endif  // __x86_64__
 
-Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
-    : entry_(std::move(entry)) {
-  MM_ASSERT_MSG(entry_ != nullptr, "fiber needs an entry function");
-  const std::size_t page = page_size();
-  stack_bytes_ = round_up(stack_bytes < 4 * page ? 4 * page : stack_bytes, page);
-  map_bytes_ = stack_bytes_ + page;  // + guard page
-  stack_map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  MM_ASSERT_MSG(stack_map_ != MAP_FAILED, "fiber stack mmap failed");
-  // Guard page at the low end: stack overflow faults instead of corrupting
-  // the neighbouring fiber's stack.
-  MM_ASSERT(::mprotect(stack_map_, page, PROT_NONE) == 0);
-  stack_lo_ = static_cast<char*>(stack_map_) + page;
-
+void Fiber::init_context() {
 #if defined(__x86_64__)
   sp_ = init_frame(stack_lo_, stack_bytes_, this);
 #else
@@ -177,6 +155,30 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
                 static_cast<unsigned>(self >> 32),
                 static_cast<unsigned>(self & 0xffffffffu));
 #endif
+}
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)) {
+  MM_ASSERT_MSG(entry_ != nullptr, "fiber needs an entry function");
+  const std::size_t page = page_size();
+  stack_bytes_ = round_up(stack_bytes < 4 * page ? 4 * page : stack_bytes, page);
+  map_bytes_ = stack_bytes_ + page;  // + guard page
+  stack_map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  MM_ASSERT_MSG(stack_map_ != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end: stack overflow faults instead of corrupting
+  // the neighbouring fiber's stack.
+  MM_ASSERT(::mprotect(stack_map_, page, PROT_NONE) == 0);
+  stack_lo_ = static_cast<char*>(stack_map_) + page;
+  init_context();
+}
+
+Fiber::Fiber(std::function<void()> entry, void* stack_lo, std::size_t stack_bytes)
+    : entry_(std::move(entry)), stack_lo_(stack_lo), stack_bytes_(stack_bytes) {
+  MM_ASSERT_MSG(entry_ != nullptr, "fiber needs an entry function");
+  MM_ASSERT_MSG(stack_lo != nullptr && stack_bytes >= 4096,
+                "external fiber stack must be at least a page");
+  init_context();
 }
 
 Fiber::~Fiber() {
@@ -229,6 +231,10 @@ void Fiber::ucontext_trampoline(unsigned hi, unsigned lo) {
 }
 #endif
 
+#if !defined(MM_FIBER_INLINE_SWITCH)
+// Out-of-line switches: the ucontext fallback, and ASan builds (which must
+// run the fiber-switch annotations around every transfer).
+
 void Fiber::resume() {
   MM_ASSERT_MSG(!done_, "resume on a finished fiber");
   MM_ASSERT_MSG(!running_, "re-entrant fiber resume");
@@ -265,6 +271,44 @@ void Fiber::yield() {
   __sanitizer_finish_switch_fiber(fiber_fake_stack_, &caller_stack_bottom_,
                                   &caller_stack_size_);
 #endif
+}
+
+#endif  // !MM_FIBER_INLINE_SWITCH
+
+// ---------------------------------------------------------------------------
+// FiberStackPool
+// ---------------------------------------------------------------------------
+
+FiberStackPool::FiberStackPool(std::size_t stack_bytes, std::size_t stacks_per_chunk)
+    : stack_bytes_(round_up(stack_bytes, page_size())),
+      per_chunk_(stacks_per_chunk),
+      next_in_chunk_(stacks_per_chunk) {
+  MM_ASSERT_MSG(stack_bytes >= 4096 && stacks_per_chunk >= 1,
+                "pooled fiber stacks need at least a page each");
+}
+
+FiberStackPool::~FiberStackPool() {
+  for (void* chunk : chunks_) ::munmap(chunk, per_chunk_ * stack_bytes_);
+}
+
+void* FiberStackPool::acquire() {
+  if (!free_.empty()) {
+    void* lo = free_.back();
+    free_.pop_back();
+    return lo;
+  }
+  if (next_in_chunk_ == per_chunk_) {
+    // MAP_NORESERVE: a million-stack run reserves address space in the tens
+    // of GB but commits pages only as fibers touch them.
+    void* chunk = ::mmap(nullptr, per_chunk_ * stack_bytes_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    MM_ASSERT_MSG(chunk != MAP_FAILED, "fiber stack pool chunk mmap failed");
+    chunks_.push_back(chunk);
+    next_in_chunk_ = 0;
+  }
+  void* lo = static_cast<char*>(chunks_.back()) + next_in_chunk_ * stack_bytes_;
+  ++next_in_chunk_;
+  return lo;
 }
 
 }  // namespace mm::runtime

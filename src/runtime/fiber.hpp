@@ -10,20 +10,41 @@
 // context switch, no scheduler latency.
 //
 // On x86-64 the switch is a hand-rolled assembly routine (callee-saved GPRs
-// plus the x87/SSE control words, ~20ns round trip). Elsewhere it falls back
-// to POSIX ucontext, which is slower (swapcontext saves the signal mask via a
-// syscall) but portable; the thread backend remains the reference semantics
-// either way.
+// only — no code run on these fibers alters the x87/SSE control words, so
+// the switch deliberately skips them), and resume()/yield()
+// are defined inline here so the scheduler's hot loop compiles down to a
+// direct call of that routine. Elsewhere it falls back to POSIX ucontext,
+// which is slower (swapcontext saves the signal mask via a syscall) but
+// portable; the thread backend remains the reference semantics either way.
 //
 // Exceptions must never propagate out of the entry function (the simulator's
 // process wrapper catches everything); control must never leave a fiber
 // except through yield() or entry return. AddressSanitizer builds annotate
 // every switch with the __sanitizer_*_switch_fiber protocol, so fiber stacks
-// are first-class citizens under ASan.
+// are first-class citizens under ASan (and the inline fast path is disabled:
+// switches go through the out-of-line annotated versions).
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <vector>
+
+#include "common/assert.hpp"
+
+// ASan detection, needed here because it decides whether resume()/yield()
+// may be inlined without the fiber-switch annotations.
+#if defined(__SANITIZE_ADDRESS__)
+#define MM_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MM_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(__x86_64__) && !defined(MM_FIBER_ASAN)
+#define MM_FIBER_INLINE_SWITCH 1
+extern "C" void mm_fiber_switch(void** save_sp, void* target_sp);
+#endif
 
 namespace mm::runtime {
 
@@ -40,6 +61,14 @@ class Fiber {
   /// live on its stack, so owners drain fibers to completion first.
   explicit Fiber(std::function<void()> entry,
                  std::size_t stack_bytes = kDefaultStackBytes);
+
+  /// Run on caller-provided stack memory [stack_lo, stack_lo + stack_bytes)
+  /// instead of a private guarded mapping — the million-fiber form, paired
+  /// with FiberStackPool. No guard page: an overflow corrupts the
+  /// neighbouring stack instead of faulting, so size generously. The memory
+  /// must outlive the fiber; the fiber never frees it.
+  Fiber(std::function<void()> entry, void* stack_lo, std::size_t stack_bytes);
+
   ~Fiber();
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
@@ -47,11 +76,26 @@ class Fiber {
   /// Transfer control into the fiber. Returns when the fiber calls yield()
   /// or its entry function returns. Must not be called re-entrantly or after
   /// done().
+#if defined(MM_FIBER_INLINE_SWITCH)
+  // The inline-switch build trades the state-machine asserts (and the
+  // running_ bookkeeping they need) for a handoff that is just the register
+  // swap — this pair is the floor under every simulator step, so each saved
+  // load/store counts. The ucontext/sanitizer build below keeps the checks.
+  void resume() {
+    started_ = true;
+    mm_fiber_switch(&caller_sp_, sp_);
+  }
+#else
   void resume();
+#endif
 
   /// Transfer control back to the most recent resumer. Only callable from
   /// inside the fiber.
+#if defined(MM_FIBER_INLINE_SWITCH)
+  void yield() { mm_fiber_switch(&sp_, caller_sp_); }
+#else
   void yield();
+#endif
 
   /// True once the entry function has returned; resume() is then forbidden.
   [[nodiscard]] bool done() const noexcept { return done_; }
@@ -65,8 +109,12 @@ class Fiber {
   static void ucontext_trampoline(unsigned hi, unsigned lo);
 #endif
 
+  /// Shared tail of both constructors: seed the switch frame / ucontext on
+  /// the (already chosen) stack.
+  void init_context();
+
   std::function<void()> entry_;
-  void* stack_map_ = nullptr;   ///< mmap base (guard page at the low end)
+  void* stack_map_ = nullptr;   ///< mmap base (guard page at the low end); null for external stacks
   std::size_t map_bytes_ = 0;   ///< guard + usable
   void* stack_lo_ = nullptr;    ///< lowest usable stack address
   std::size_t stack_bytes_ = 0; ///< usable stack size
@@ -90,6 +138,42 @@ class Fiber {
   void* fiber_fake_stack_ = nullptr;        ///< saved by yield()
   const void* caller_stack_bottom_ = nullptr;
   std::size_t caller_stack_size_ = 0;
+};
+
+/// Bulk stack storage for dense fiber populations (n ≥ 10^5).
+//
+// One private guarded mapping per fiber costs two VMAs (guard + stack),
+// and the kernel caps a process at vm.max_map_count mappings (~65k by
+// default) — a hard wall far below a million fibers. The pool instead
+// carves guardless stacks out of large MAP_NORESERVE chunks, so a million
+// 32 KiB stacks need only ~2k mappings and commit physical pages lazily as
+// each fiber first touches its stack. The trade: no overflow fault — pick
+// stack sizes with headroom. Released stacks are recycled LIFO.
+//
+// Not thread-safe; one pool per owning runtime. The pool must outlive every
+// fiber whose stack it provided.
+class FiberStackPool {
+ public:
+  explicit FiberStackPool(std::size_t stack_bytes, std::size_t stacks_per_chunk = 512);
+  ~FiberStackPool();
+  FiberStackPool(const FiberStackPool&) = delete;
+  FiberStackPool& operator=(const FiberStackPool&) = delete;
+
+  /// Lowest address of a fresh (or recycled) stack of stack_bytes().
+  [[nodiscard]] void* acquire();
+  /// Return a stack obtained from acquire() for reuse.
+  void release(void* stack_lo) { free_.push_back(stack_lo); }
+
+  [[nodiscard]] std::size_t stack_bytes() const noexcept { return stack_bytes_; }
+  /// Number of chunk mappings created so far (VMA budget introspection).
+  [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  std::size_t stack_bytes_;
+  std::size_t per_chunk_;
+  std::size_t next_in_chunk_;  ///< slots handed out of the newest chunk
+  std::vector<void*> chunks_;
+  std::vector<void*> free_;
 };
 
 }  // namespace mm::runtime

@@ -5,13 +5,27 @@
 //   * Leader election (Fig. 3/4) sends notify and accusation signals.
 // We keep one concrete envelope rather than a type-erased payload: it keeps
 // the simulator allocation-light and the wire format inspectable by tests.
+//
+// The representation array is a TupleVec: up to kInline tuples live inside
+// the envelope itself, and larger HBO neighborhoods spill to a block from
+// the thread-local SlabPool (common/slab.hpp). Copying, queueing, and
+// draining messages with inline payloads therefore never touches the heap —
+// the "zero heap allocations per steady-state step" invariant pinned by the
+// allocation-counting tests — and spilled payloads recycle pooled blocks.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/ids.hpp"
+#include "common/slab.hpp"
 
 namespace mm::runtime {
 
@@ -24,13 +38,158 @@ struct RepTuple {
   friend bool operator==(const RepTuple&, const RepTuple&) = default;
 };
 
+static_assert(std::is_trivially_copyable_v<RepTuple>,
+              "TupleVec memcpy-copies its elements");
+static_assert(sizeof(RepTuple) == 8, "TupleVec memcmp-compares: no padding allowed");
+
+/// Small-buffer vector of RepTuples: kInline elements inline, SlabPool spill
+/// beyond. Pid's degree-4 neighborhoods (the common HBO configuration) and
+/// all non-HBO messages fit inline.
+class TupleVec {
+ public:
+  static constexpr std::uint32_t kInline = 8;
+
+  using value_type = RepTuple;
+  using const_iterator = const RepTuple*;
+  using iterator = RepTuple*;
+
+  // Initializing spill_ (not the array) keeps construction O(1); the union's
+  // implicit default ctor is deleted because RepTuple's is non-trivial.
+  TupleVec() noexcept : spill_(nullptr) {}
+
+  TupleVec(std::initializer_list<RepTuple> init) { assign(init.begin(), init.size()); }
+
+  TupleVec(const TupleVec& other) { assign(other.data(), other.size_); }
+
+  TupleVec(TupleVec&& other) noexcept {
+    steal(other);
+  }
+
+  TupleVec& operator=(const TupleVec& other) {
+    if (this != &other) assign(other.data(), other.size_);
+    return *this;
+  }
+
+  TupleVec& operator=(TupleVec&& other) noexcept {
+    if (this != &other) {
+      release_spill();
+      steal(other);
+    }
+    return *this;
+  }
+
+  /// Algorithm code builds payloads as std::vector (core/hbo.cpp) and
+  /// assigns them into the envelope; accept that directly so the algorithm
+  /// layer stays untouched.
+  TupleVec& operator=(const std::vector<RepTuple>& v) {
+    assign(v.data(), v.size());
+    return *this;
+  }
+
+  ~TupleVec() { release_spill(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool spilled() const noexcept { return cap_ > kInline; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  [[nodiscard]] const RepTuple* data() const noexcept {
+    return spilled() ? spill_ : inline_;
+  }
+  [[nodiscard]] RepTuple* data() noexcept { return spilled() ? spill_ : inline_; }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data() + size_; }
+  [[nodiscard]] iterator begin() noexcept { return data(); }
+  [[nodiscard]] iterator end() noexcept { return data() + size_; }
+
+  [[nodiscard]] const RepTuple& operator[](std::size_t i) const noexcept {
+    MM_ASSERT(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] RepTuple& operator[](std::size_t i) noexcept {
+    MM_ASSERT(i < size_);
+    return data()[i];
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void push_back(const RepTuple& t) {
+    if (size_ == cap_) grow(size_ + 1);
+    data()[size_++] = t;
+  }
+
+  void assign(const RepTuple* src, std::size_t n) {
+    if (n > cap_) grow_discard(n);
+    if (n != 0) std::memcpy(data(), src, n * sizeof(RepTuple));
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  friend bool operator==(const TupleVec& a, const TupleVec& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    return a.size_ == 0 ||
+           std::memcmp(a.data(), b.data(), a.size_ * sizeof(RepTuple)) == 0;
+  }
+
+ private:
+  void steal(TupleVec& other) noexcept {
+    size_ = other.size_;
+    cap_ = other.cap_;
+    if (other.spilled()) {
+      spill_ = other.spill_;
+    } else if (size_ != 0) {
+      std::memcpy(inline_, other.inline_, size_ * sizeof(RepTuple));
+    }
+    other.size_ = 0;
+    other.cap_ = kInline;
+  }
+
+  void release_spill() noexcept {
+    if (spilled()) {
+      common::SlabPool::local().release(spill_, std::size_t{cap_} * sizeof(RepTuple));
+      cap_ = kInline;
+    }
+  }
+
+  // Grow to hold at least `need`, preserving the current contents.
+  void grow(std::size_t need) {
+    MM_ASSERT(need <= UINT32_MAX);
+    std::size_t bytes = std::max<std::size_t>(need, std::size_t{cap_} * 2) * sizeof(RepTuple);
+    auto* fresh = static_cast<RepTuple*>(common::SlabPool::local().acquire(bytes));
+    if (size_ != 0) std::memcpy(fresh, data(), size_ * sizeof(RepTuple));
+    release_spill();
+    spill_ = fresh;
+    cap_ = static_cast<std::uint32_t>(bytes / sizeof(RepTuple));
+  }
+
+  // Grow without preserving contents (assign overwrites everything anyway).
+  void grow_discard(std::size_t need) {
+    MM_ASSERT(need <= UINT32_MAX);
+    release_spill();
+    std::size_t bytes = need * sizeof(RepTuple);
+    spill_ = static_cast<RepTuple*>(common::SlabPool::local().acquire(bytes));
+    cap_ = static_cast<std::uint32_t>(bytes / sizeof(RepTuple));
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInline;  ///< kInline when inline, granted slab capacity when spilled
+  union {
+    RepTuple inline_[kInline];
+    RepTuple* spill_;
+  };
+};
+
 struct Message {
-  Pid from;                      ///< filled in by the runtime on send
-  std::uint32_t kind = 0;        ///< algorithm-defined tag (phase, notify, ...)
-  std::uint64_t round = 0;       ///< algorithm-defined sequence number
-  std::uint64_t value = 0;       ///< algorithm-defined scalar payload
-  std::uint64_t aux = 0;         ///< second scalar payload (ABD data word, ...)
-  std::vector<RepTuple> tuples;  ///< HBO representation array (empty otherwise)
+  Pid from;                ///< filled in by the runtime on send
+  std::uint32_t kind = 0;  ///< algorithm-defined tag (phase, notify, ...)
+  std::uint64_t round = 0;  ///< algorithm-defined sequence number
+  std::uint64_t value = 0;  ///< algorithm-defined scalar payload
+  std::uint64_t aux = 0;    ///< second scalar payload (ABD data word, ...)
+  TupleVec tuples;          ///< HBO representation array (empty otherwise)
 
   friend bool operator==(const Message&, const Message&) = default;
 };

@@ -101,6 +101,24 @@ struct SimConfig {
   std::optional<Pid> timely;
   Step timely_bound = 16;
 
+  /// Arm event tracing from construction, keeping the last `trace_capacity`
+  /// events in a fixed ring (0 = off, the default — tracing can still be
+  /// switched on later via SimRuntime::enable_trace). The ring never grows,
+  /// so long runs cannot accumulate trace memory silently.
+  std::size_t trace_capacity = 0;
+
+  /// Usable stack bytes per process fiber (coroutine backend only);
+  /// 0 = Fiber::kDefaultStackBytes. Million-process runs shrink this to keep
+  /// the footprint per process small — bodies there must be shallow.
+  std::size_t fiber_stack_bytes = 0;
+
+  /// Carve fiber stacks from pooled guardless mappings (FiberStackPool)
+  /// instead of one guarded mmap per fiber. Required beyond n ≈ 3·10^4: the
+  /// kernel's vm.max_map_count budget caps per-fiber mappings. The trade is
+  /// losing the overflow guard page, so pair with a generous
+  /// fiber_stack_bytes. Ignored by the thread backend.
+  bool pooled_fiber_stacks = false;
+
   [[nodiscard]] std::size_t n() const noexcept { return gsm.size(); }
 
   /// Full structural check, throwing ConfigError with a field-specific
@@ -155,6 +173,9 @@ inline void SimConfig::validate() const {
     throw ConfigError{"timely pid out of range"};
   if (timely.has_value() && timely_bound == 0)
     throw ConfigError{"timely_bound must be >= 1"};
+  if (fiber_stack_bytes != 0 && fiber_stack_bytes < 16 * 1024)
+    throw ConfigError{"fiber_stack_bytes must be 0 (default) or >= 16 KiB; smaller "
+                      "stacks overflow before the body's first frame"};
 }
 
 }  // namespace mm::runtime

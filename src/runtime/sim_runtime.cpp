@@ -1,6 +1,7 @@
 #include "runtime/sim_runtime.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -36,24 +37,60 @@ constexpr std::uint64_t kSliceSigSeed = 0x2545f4914f6cdd1dULL;
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// SimEnv — forwards to the runtime, tagged with the calling pid.
+// SimEnv — forwards to the runtime, tagged with the calling pid. Each call
+// dispatches once on the recording flag to the matching instantiation of the
+// env backend; the <false> instantiation carries no instrumentation at all.
 // ---------------------------------------------------------------------------
 
 std::size_t SimEnv::n() const { return rt_->config().n(); }
-void SimEnv::send(Pid to, Message m) { rt_->env_send(self_, to, std::move(m)); }
-void SimEnv::drain_inbox(std::vector<Message>& out) { rt_->env_drain(self_, out); }
+void SimEnv::send(Pid to, Message m) {
+  if (rt_->record_footprints_) [[unlikely]] {
+    rt_->env_send<true>(self_, to, std::move(m));
+  } else {
+    rt_->env_send<false>(self_, to, std::move(m));
+  }
+}
+void SimEnv::drain_inbox(std::vector<Message>& out) {
+  if (rt_->record_footprints_) [[unlikely]] {
+    rt_->env_drain<true>(self_, out);
+  } else {
+    rt_->env_drain<false>(self_, out);
+  }
+}
 RegId SimEnv::reg(RegKey key) { return rt_->env_reg(self_, key); }
-std::uint64_t SimEnv::read(RegId r) { return rt_->env_read(self_, r); }
-void SimEnv::write(RegId r, std::uint64_t v) { rt_->env_write(self_, r, v); }
+std::uint64_t SimEnv::read(RegId r) {
+  return rt_->record_footprints_ ? rt_->env_read<true>(self_, r)
+                                 : rt_->env_read<false>(self_, r);
+}
+void SimEnv::write(RegId r, std::uint64_t v) {
+  if (rt_->record_footprints_) [[unlikely]] {
+    rt_->env_write<true>(self_, r, v);
+  } else {
+    rt_->env_write<false>(self_, r, v);
+  }
+}
 std::uint64_t SimEnv::cas(RegId r, std::uint64_t expected, std::uint64_t desired) {
-  return rt_->env_cas(self_, r, expected, desired);
+  return rt_->record_footprints_ ? rt_->env_cas<true>(self_, r, expected, desired)
+                                 : rt_->env_cas<false>(self_, r, expected, desired);
 }
-bool SimEnv::coin() { return rt_->env_coin(self_); }
+bool SimEnv::coin() {
+  return rt_->record_footprints_ ? rt_->env_coin<true>(self_) : rt_->env_coin<false>(self_);
+}
 std::uint64_t SimEnv::rand_below(std::uint64_t bound) {
-  return rt_->env_rand_below(self_, bound);
+  return rt_->record_footprints_ ? rt_->env_rand_below<true>(self_, bound)
+                                 : rt_->env_rand_below<false>(self_, bound);
 }
-void SimEnv::step() { rt_->env_step(self_); }
-Step SimEnv::now() const { return rt_->env_now(self_); }
+void SimEnv::step() {
+  if (fiber_ != nullptr) {
+    fiber_->yield();
+    if (*kill_flag_ != 0) throw ProcessKilled{};
+    return;
+  }
+  rt_->env_step(self_);
+}
+Step SimEnv::now() const {
+  return rt_->record_footprints_ ? rt_->env_now<true>(self_) : rt_->env_now<false>(self_);
+}
 bool SimEnv::stop_requested() const { return rt_->stop_requested_; }
 
 // ---------------------------------------------------------------------------
@@ -68,7 +105,8 @@ SimRuntime::SimRuntime(SimConfig config)
       fault_rng_(config_.seed * 0xd6e8feb86659fd93ULL + 3),
       mem_window_(config_.n()),
       pending_(config_.n()),
-      inbox_(config_.n()),
+      pending_head_(config_.n(), kNever),
+      trace_capacity_(config_.trace_capacity),
       metrics_(config_.n()) {
   config_.validate();
   Rng seeder{config_.seed ^ 0xa5a5a5a5a5a5a5a5ULL};
@@ -94,9 +132,8 @@ SimRuntime::~SimRuntime() { shutdown(); }
 void SimRuntime::add_process(std::function<void(Env&)> body) {
   MM_ASSERT_MSG(!started_, "cannot add processes after start");
   MM_ASSERT_MSG(procs_.size() < config_.n(), "more bodies than config.n()");
-  auto proc = std::make_unique<Proc>();
-  proc->body = std::move(body);
-  proc->env = std::make_unique<SimEnv>(*this, Pid{static_cast<std::uint32_t>(procs_.size())});
+  Proc proc;
+  proc.body = std::move(body);
   procs_.push_back(std::move(proc));
 }
 
@@ -104,26 +141,55 @@ void SimRuntime::start() {
   if (started_) return;
   MM_ASSERT_MSG(procs_.size() == config_.n(), "add exactly n process bodies before start");
   started_ = true;
-  runnable_.reserve(procs_.size());
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    Proc* pr = procs_[i].get();
-    pr->state = ProcState::kParked;
+  const std::size_t n = procs_.size();
+  proc_state_.assign(n, static_cast<std::uint8_t>(ProcState::kParked));
+  proc_kill_.assign(n, 0);
+  proc_finished_.assign(n, 0);
+  fiber_.assign(n, nullptr);
+  runnable_.reserve(n);
+  // Pre-size the pending queues past any capacity high-water mark a
+  // realistic run can reach (a scheduler starvation stretch of ~32·n steps
+  // has probability (1-1/n)^(32n) ≈ e⁻³² per step), so queue growth cannot
+  // leak a late heap allocation into the steady state the allocation
+  // counters pin to zero. Population-scale runs skip this: 32 slots per
+  // destination is real memory at n = 10⁶, and those runs do not assert the
+  // zero-alloc invariant.
+  if (n <= 1024) {
+    for (auto& pend : pending_) pend.reserve(32);
+  }
+  ExecOptions exec_opts;
+  exec_opts.fiber_stack_bytes = config_.fiber_stack_bytes;
+  if (config_.pooled_fiber_stacks && backend_ == SimBackend::kCoroutine) {
+    stack_pool_ = std::make_unique<FiberStackPool>(
+        config_.fiber_stack_bytes == 0 ? Fiber::kDefaultStackBytes
+                                       : config_.fiber_stack_bytes);
+    exec_opts.stack_pool = stack_pool_.get();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Proc& pr = procs_[i];
+    pr.env = std::make_unique<SimEnv>(*this, Pid{static_cast<std::uint32_t>(i)});
     runnable_.push_back(i);
     // The wrapper is the whole process lifecycle — kill check, body,
     // exception capture, finished flag — so every backend runs identical
     // code and differs only in how control is transferred.
-    pr->exec = make_proc_exec(backend_, [pr] {
-      if (!pr->kill) {
-        try {
-          pr->body(*pr->env);
-        } catch (const ProcessKilled&) {
-          // Normal teardown path.
-        } catch (...) {
-          pr->error = std::current_exception();
-        }
-      }
-      pr->finished_flag = true;
-    });
+    pr.exec = make_proc_exec(
+        backend_,
+        [this, i] {
+          if (proc_kill_[i] == 0) {
+            try {
+              procs_[i].body(*procs_[i].env);
+            } catch (const ProcessKilled&) {
+              // Normal teardown path.
+            } catch (...) {
+              procs_[i].error = std::current_exception();
+            }
+          }
+          proc_finished_[i] = 1;
+        },
+        exec_opts);
+    fiber_[i] = pr.exec->fiber();
+    pr.env->fiber_ = fiber_[i];
+    pr.env->kill_flag_ = proc_kill_.data() + i;
   }
 }
 
@@ -131,13 +197,13 @@ void SimRuntime::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   if (started_) {
-    for (auto& pr : procs_) {
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
       // Drain to completion: each resume re-enters the body, whose next
       // yield throws ProcessKilled and unwinds through the wrapper. Looping
       // (rather than resuming once) tolerates bodies that swallow a kill.
-      pr->kill = true;
-      while (!pr->finished_flag) pr->exec->resume();
-      pr->exec->join();
+      proc_kill_[i] = 1;
+      while (proc_finished_[i] == 0) resume_proc(i);
+      procs_[i].exec->join();
     }
   }
 }
@@ -145,8 +211,6 @@ void SimRuntime::shutdown() {
 // ---------------------------------------------------------------------------
 // Scheduling
 // ---------------------------------------------------------------------------
-
-bool SimRuntime::runnable(const Proc& p) const { return p.state == ProcState::kParked; }
 
 void SimRuntime::remove_runnable(std::size_t idx) {
   const auto it = std::lower_bound(runnable_.begin(), runnable_.end(), idx);
@@ -158,8 +222,8 @@ void SimRuntime::apply_crash_plan() {
          crash_schedule_[crash_next_].first <= global_step_) {
     const std::size_t i = crash_schedule_[crash_next_].second;
     ++crash_next_;
-    if (procs_[i]->state == ProcState::kParked) {
-      procs_[i]->state = ProcState::kCrashed;
+    if (runnable(i)) {
+      proc_state_[i] = static_cast<std::uint8_t>(ProcState::kCrashed);
       remove_runnable(i);
       trace_event(Pid{static_cast<std::uint32_t>(i)}, TraceEvent::Kind::kCrash);
     }
@@ -168,8 +232,8 @@ void SimRuntime::apply_crash_plan() {
 
 void SimRuntime::crash_now(Pid p) {
   MM_ASSERT(p.index() < procs_.size());
-  if (procs_[p.index()]->state == ProcState::kParked) {
-    procs_[p.index()]->state = ProcState::kCrashed;
+  if (runnable(p.index())) {
+    proc_state_[p.index()] = static_cast<std::uint8_t>(ProcState::kCrashed);
     remove_runnable(p.index());
     trace_event(p, TraceEvent::Kind::kCrash);
   }
@@ -208,23 +272,47 @@ void SimRuntime::begin_link_burst(const LinkBurst& burst) { burst_ = burst; }
 
 void SimRuntime::enable_trace(std::size_t capacity) {
   trace_capacity_ = capacity;
-  trace_.clear();
+  trace_buf_.clear();
+  trace_buf_.shrink_to_fit();
+  trace_head_ = 0;
 }
 
 void SimRuntime::trace_event_slow(Pid pid, TraceEvent::Kind kind, std::uint64_t a,
                                   std::uint64_t b) {
-  trace_.push_back(TraceEvent{global_step_, pid, kind, a, b});
-  while (trace_.size() > trace_capacity_) trace_.pop_front();
+  const TraceEvent e{global_step_, pid, kind, a, b};
+  if (trace_buf_.size() < trace_capacity_) {
+    trace_buf_.push_back(e);
+    return;
+  }
+  // Ring is full: overwrite the oldest slot. No per-event allocation or
+  // shifting — a deque here would churn chunk allocations while rotating.
+  trace_buf_[trace_head_] = e;
+  trace_head_ = trace_head_ + 1 == trace_capacity_ ? 0 : trace_head_ + 1;
+}
+
+std::vector<SimRuntime::TraceEvent> SimRuntime::trace() const {
+  std::vector<TraceEvent> out;
+  const std::size_t size = trace_buf_.size();
+  out.reserve(size);
+  // trace_head_ is the oldest slot once the ring has wrapped; before that it
+  // is 0 and the buffer is already chronological.
+  for (std::size_t i = 0; i < size; ++i) {
+    std::size_t j = trace_head_ + i;
+    if (j >= size) j -= size;
+    out.push_back(trace_buf_[j]);
+  }
+  return out;
 }
 
 std::string SimRuntime::dump_trace(std::size_t last_n) const {
   static constexpr const char* kNames[] = {"sched", "send ", "deliv", "drop ", "read ",
                                            "write", "cas  ", "crash", "mfail", "mrecv"};
+  const std::vector<TraceEvent> events = trace();
   std::string out;
-  const std::size_t start = trace_.size() > last_n ? trace_.size() - last_n : 0;
+  const std::size_t start = events.size() > last_n ? events.size() - last_n : 0;
   char line[128];
-  for (std::size_t i = start; i < trace_.size(); ++i) {
-    const TraceEvent& e = trace_[i];
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
     std::snprintf(line, sizeof line, "%8llu %-4s %s a=%llu b=%llu\n",
                   static_cast<unsigned long long>(e.step),
                   to_string(e.pid).c_str(), kNames[static_cast<std::size_t>(e.kind)],
@@ -236,16 +324,15 @@ std::string SimRuntime::dump_trace(std::size_t last_n) const {
 }
 
 void SimRuntime::activate(std::size_t pick) {
-  Proc& pr = *procs_[pick];
   ++metrics_.steps_by_proc[pick];
   trace_event(Pid{static_cast<std::uint32_t>(pick)}, TraceEvent::Kind::kSchedule);
   if (record_footprints_) [[unlikely]]
     begin_slice(pick);
-  pr.exec->resume();
+  resume_proc(pick);
   if (record_footprints_) [[unlikely]]
     end_slice(pick);
-  if (pr.finished_flag) {
-    pr.state = ProcState::kFinished;
+  if (proc_finished_[pick] != 0) {
+    proc_state_[pick] = static_cast<std::uint8_t>(ProcState::kFinished);
     remove_runnable(pick);
   }
   ++global_step_;
@@ -315,7 +402,7 @@ StateHash SimRuntime::state_hash() const {
   };
   fold(config_.n());
   for (std::size_t i = 0; i < procs_.size(); ++i) {
-    fold(static_cast<std::uint64_t>(procs_[i]->state));
+    fold(static_cast<std::uint64_t>(proc_state_[i]));
     fold(obs_hash_[i]);
   }
   // Registers in key order, zero-valued entries skipped: a register holding
@@ -335,9 +422,9 @@ StateHash SimRuntime::state_hash() const {
   // In-flight messages per destination in (deliver_at, seq) order — i.e.
   // exactly the order they will be drained in — with *relative* delivery
   // delays. Raw seq numbers and absolute steps differ across interleavings
-  // that reach the same state, so neither enters the hash. (inbox_ is
-  // always empty between steps: deliveries happen only inside env_drain,
-  // which immediately swaps the inbox out to the caller.)
+  // that reach the same state, so neither enters the hash. (Nothing is ever
+  // buffered between steps outside pending_: deliveries happen only inside
+  // env_drain, which pops eligible messages straight into the caller.)
   std::vector<const InFlight*> order;
   for (std::size_t d = 0; d < pending_.size(); ++d) {
     const auto& pend = pending_[d];
@@ -390,8 +477,7 @@ bool SimRuntime::step_once() {
   ++steps_since_timely_;
   if (config_.timely.has_value()) {
     const std::size_t t = config_.timely->index();
-    if (t < procs_.size() && runnable(*procs_[t]) &&
-        steps_since_timely_ >= config_.timely_bound) {
+    if (t < procs_.size() && runnable(t) && steps_since_timely_ >= config_.timely_bound) {
       pick = t;
       forced = true;
     }
@@ -431,9 +517,71 @@ bool SimRuntime::step_once() {
   return true;
 }
 
+Step SimRuntime::run_fast(Step k) {
+  // The common-configuration inner loop. Per step it does exactly what
+  // step_once does for this configuration — one crash-plan check, one
+  // uniform01() draw, one handoff — with every disarmed hook (policy,
+  // injector, timeliness, weights, tracing, recording) hoisted out of the
+  // loop by fast_path_eligible(). Keep the RNG consumption in lockstep with
+  // step_once: one uniform01() per step, even with one runnable process.
+  //
+  // Scheduler state that process bodies cannot touch (the RNG, the runnable
+  // list, the crash cursor, the SoA base pointers) is cached in locals for
+  // the whole loop: the resume() below is an opaque call, so anything left
+  // in memory would be re-loaded every iteration. global_step_ is the one
+  // value env calls *do* read, so it is stored back before each handoff.
+  Fiber* const* const fibers = fiber_.data();
+  const std::uint8_t* const finished_flags = proc_finished_.data();
+  std::uint64_t* const steps_by_proc = metrics_.steps_by_proc.data();
+  Rng rng = sched_rng_;
+  Step step = global_step_;
+  Step next_crash = crash_next_ < crash_schedule_.size()
+                        ? crash_schedule_[crash_next_].first
+                        : kNever;
+  const std::size_t* run_data = runnable_.data();
+  std::size_t nrun = runnable_.size();
+  Step done = 0;
+  while (done < k) {
+    if (next_crash <= step) [[unlikely]] {
+      global_step_ = step;
+      apply_crash_plan();
+      next_crash = crash_next_ < crash_schedule_.size()
+                       ? crash_schedule_[crash_next_].first
+                       : kNever;
+      run_data = runnable_.data();
+      nrun = runnable_.size();
+    }
+    if (nrun == 0) break;
+    const double r = rng.uniform01() * static_cast<double>(nrun);
+    std::size_t idx = static_cast<std::size_t>(r);
+    if (idx >= nrun) idx = nrun - 1;
+    const std::size_t pick = run_data[idx];
+    ++steps_by_proc[pick];
+    global_step_ = step;
+    Fiber* const f = fibers[pick];
+    if (f != nullptr) {
+      f->resume();
+    } else {
+      procs_[pick].exec->resume();
+    }
+    if (finished_flags[pick] != 0) [[unlikely]] {
+      proc_state_[pick] = static_cast<std::uint8_t>(ProcState::kFinished);
+      remove_runnable(pick);
+      run_data = runnable_.data();
+      nrun = runnable_.size();
+    }
+    ++step;
+    ++done;
+  }
+  global_step_ = step;
+  sched_rng_ = rng;
+  return done;
+}
+
 Step SimRuntime::run_steps(Step k) {
   start();
   MM_ASSERT_MSG(!shut_down_, "runtime already shut down");
+  if (fast_path_eligible()) return run_fast(k);
   Step done = 0;
   while (done < k && step_once()) ++done;
   return done;
@@ -441,6 +589,10 @@ Step SimRuntime::run_steps(Step k) {
 
 bool SimRuntime::run_until_all_done(Step budget) {
   start();
+  if (fast_path_eligible()) {
+    if (budget > global_step_) run_fast(budget - global_step_);
+    return all_done();
+  }
   while (global_step_ < budget) {
     if (!step_once()) break;
   }
@@ -449,23 +601,24 @@ bool SimRuntime::run_until_all_done(Step budget) {
 
 bool SimRuntime::finished(Pid p) const {
   MM_ASSERT(p.index() < procs_.size());
-  return procs_[p.index()]->state == ProcState::kFinished;
+  return proc_state_[p.index()] == static_cast<std::uint8_t>(ProcState::kFinished);
 }
 
 bool SimRuntime::crashed(Pid p) const {
   MM_ASSERT(p.index() < procs_.size());
-  return procs_[p.index()]->state == ProcState::kCrashed;
+  return proc_state_[p.index()] == static_cast<std::uint8_t>(ProcState::kCrashed);
 }
 
 bool SimRuntime::all_done() const {
-  return std::all_of(procs_.begin(), procs_.end(), [](const auto& pr) {
-    return pr->state == ProcState::kFinished || pr->state == ProcState::kCrashed;
+  return std::all_of(proc_state_.begin(), proc_state_.end(), [](std::uint8_t s) {
+    return s == static_cast<std::uint8_t>(ProcState::kFinished) ||
+           s == static_cast<std::uint8_t>(ProcState::kCrashed);
   });
 }
 
 void SimRuntime::rethrow_process_error() const {
-  for (const auto& pr : procs_)
-    if (pr->error) std::rethrow_exception(pr->error);
+  for (const Proc& pr : procs_)
+    if (pr.error) std::rethrow_exception(pr.error);
 }
 
 // ---------------------------------------------------------------------------
@@ -473,9 +626,14 @@ void SimRuntime::rethrow_process_error() const {
 // ---------------------------------------------------------------------------
 
 void SimRuntime::env_step(Pid self) {
-  Proc& pr = *procs_[self.index()];
-  pr.exec->yield();
-  if (pr.kill) throw ProcessKilled{};
+  const std::size_t i = self.index();
+  Fiber* f = fiber_[i];
+  if (f != nullptr) {
+    f->yield();
+  } else {
+    procs_[i].exec->yield();
+  }
+  if (proc_kill_[i] != 0) throw ProcessKilled{};
 }
 
 void SimRuntime::maybe_auto_step(Pid self) {
@@ -497,14 +655,15 @@ void SimRuntime::enqueue_message(Pid to, Step deliver_at, Message m) {
   auto& pend = pending_[to.index()];
   pend.push_back(InFlight{deliver_at, send_seq_++, std::move(m)});
   std::push_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+  pending_head_[to.index()] = pend.front().deliver_at;
 }
 
+template <bool Recording>
 void SimRuntime::env_send(Pid from, Pid to, Message m) {
   MM_ASSERT(to.index() < config_.n());
   if (injector_ != nullptr) [[unlikely]]
     injector_->on_send(*this, from, to);
-  if (record_footprints_) [[unlikely]]
-    footprint_.add_send(to);
+  if constexpr (Recording) footprint_.add_send(to);
   ++metrics_.msgs_sent;
   ++metrics_.sends_by_proc[from.index()];
   if (config_.link_type == LinkType::kFairLossy && link_rng_.bernoulli(config_.drop_prob)) {
@@ -538,27 +697,29 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
   enqueue_message(to, deliver_at, std::move(m));
 }
 
-void SimRuntime::deliver_eligible(Pid to) {
+void SimRuntime::drain_pending(Pid to, std::vector<Message>& out) {
   auto& pend = pending_[to.index()];
-  auto& box = inbox_[to.index()];
   while (!pend.empty() && pend.front().deliver_at <= global_step_) {
     std::pop_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
     InFlight f = std::move(pend.back());
     pend.pop_back();
     trace_event(f.msg.from, TraceEvent::Kind::kDeliver, to.value(), f.msg.kind);
-    box.push_back(std::move(f.msg));
+    out.push_back(std::move(f.msg));
     ++metrics_.msgs_delivered;
   }
+  pending_head_[to.index()] = pend.empty() ? kNever : pend.front().deliver_at;
 }
 
+template <bool Recording>
 void SimRuntime::env_drain(Pid self, std::vector<Message>& out) {
-  deliver_eligible(self);
-  // Swap rather than copy: the caller's (cleared) buffer becomes the new
-  // inbox, so both sides keep their grown capacity across iterations and the
-  // steady-state drain allocates nothing.
+  // Pop eligible messages straight from the heap into the caller's buffer —
+  // delivery order is (deliver_at, seq), exactly the heap's pop order, so no
+  // intermediate inbox is needed. Reused caller buffers keep their capacity:
+  // the steady-state drain allocates nothing, and when nothing is due the
+  // cached pending_head_ skips the heap entirely.
   out.clear();
-  std::swap(out, inbox_[self.index()]);
-  if (record_footprints_) [[unlikely]] {
+  if (pending_head_[self.index()] <= global_step_) drain_pending(self, out);
+  if constexpr (Recording) {
     // Even an empty drain is a channel touch: it would have observed any
     // message sent before it, so it must order against sends to `self`.
     footprint_.drained = true;
@@ -583,7 +744,8 @@ RegId SimRuntime::env_reg(Pid self, RegKey key) {
   if (it == reg_index_.end()) {
     const auto idx = static_cast<std::uint32_t>(reg_values_.size());
     reg_values_.push_back(0);
-    reg_meta_.push_back(RegMeta{key.owner(), key.is_global()});
+    reg_acl_.push_back(key.is_global() ? kGlobalOwner : key.owner().value());
+    reg_owner_.push_back(key.owner().value());
     reg_keys_.push_back(key);
     it = reg_index_.emplace(key, idx).first;
   }
@@ -593,13 +755,13 @@ RegId SimRuntime::env_reg(Pid self, RegKey key) {
 }
 
 void SimRuntime::check_memory_alive(RegId r) const {
-  MM_ASSERT(r.index() < reg_meta_.size());
-  const RegMeta& meta = reg_meta_[r.index()];
-  if (!meta.global && mem_faults_armed_) {
-    const MemWindow& w = mem_window_[meta.owner.index()];
-    if (w.fail_at <= global_step_ && global_step_ < w.recover_at) {
-      throw MemoryFailure{"memory hosted at " + to_string(meta.owner) + " has failed"};
-    }
+  MM_ASSERT(r.index() < reg_acl_.size());
+  if (!mem_faults_armed_) return;
+  if (reg_acl_[r.index()] == kGlobalOwner) return;
+  const std::uint32_t owner = reg_owner_[r.index()];
+  const MemWindow& w = mem_window_[owner];
+  if (w.fail_at <= global_step_ && global_step_ < w.recover_at) {
+    throw MemoryFailure{"memory hosted at " + to_string(Pid{owner}) + " has failed"};
   }
 }
 
@@ -607,35 +769,37 @@ void SimRuntime::check_register_access(Pid accessor, RegId r) const {
   // Domain (GSM) check only: naming a register via env.reg() must stay
   // legal during a memory-failure window — availability is checked per
   // access by check_memory_alive, matching the thread runtime's split.
-  MM_ASSERT(r.index() < reg_meta_.size());
-  const RegMeta& meta = reg_meta_[r.index()];
-  if (meta.global || accessor == meta.owner) return;
-  MM_ASSERT_MSG(meta.owner.index() < config_.n(), "register owner out of range");
-  if (!config_.gsm.has_edge(accessor, meta.owner)) {
+  MM_ASSERT(r.index() < reg_acl_.size());
+  const std::uint32_t acl = reg_acl_[r.index()];
+  if (acl == kGlobalOwner || acl == accessor.value()) return;
+  MM_ASSERT_MSG(acl < config_.n(), "register owner out of range");
+  if (!config_.gsm.has_edge(accessor, Pid{acl})) {
     throw ModelViolation{to_string(accessor) + " accessed register owned by " +
-                         to_string(meta.owner) + " outside its shared-memory domain"};
+                         to_string(Pid{acl}) + " outside its shared-memory domain"};
   }
 }
 
+template <bool Recording>
 std::uint64_t SimRuntime::env_read(Pid self, RegId r) {
   maybe_auto_step(self);
   check_register_access(self, r);
   check_memory_alive(r);
   ++metrics_.reg_reads;
   ++metrics_.reads_by_proc[self.index()];
-  if (reg_meta_[r.index()].owner == self) {
+  if (reg_owner_[r.index()] == self.value()) {
     ++metrics_.reg_reads_local;
   } else {
     ++metrics_.remote_reads_by_proc[self.index()];
   }
   trace_event(self, TraceEvent::Kind::kRegRead, r.value(), reg_values_[r.index()]);
-  if (record_footprints_) [[unlikely]] {
+  if constexpr (Recording) {
     footprint_.add_read(reg_keys_[r.index()]);
     obs_note(self, kObsRead, reg_values_[r.index()]);
   }
   return reg_values_[r.index()];
 }
 
+template <bool Recording>
 void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
   maybe_auto_step(self);
   if (injector_ != nullptr) [[unlikely]]
@@ -644,17 +808,17 @@ void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
   check_memory_alive(r);
   ++metrics_.reg_writes;
   ++metrics_.writes_by_proc[self.index()];
-  if (reg_meta_[r.index()].owner == self) {
+  if (reg_owner_[r.index()] == self.value()) {
     ++metrics_.reg_writes_local;
   } else {
     ++metrics_.remote_writes_by_proc[self.index()];
   }
   trace_event(self, TraceEvent::Kind::kRegWrite, r.value(), v);
-  if (record_footprints_) [[unlikely]]
-    footprint_.add_write(reg_keys_[r.index()]);
+  if constexpr (Recording) footprint_.add_write(reg_keys_[r.index()]);
   reg_values_[r.index()] = v;
 }
 
+template <bool Recording>
 std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
                                   std::uint64_t desired) {
   maybe_auto_step(self);
@@ -667,7 +831,7 @@ std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
   ++metrics_.reg_cas_ops;
   trace_event(self, TraceEvent::Kind::kRegCas, r.value(), reg_values_[r.index()]);
   const std::uint64_t old = reg_values_[r.index()];
-  if (record_footprints_) [[unlikely]] {
+  if constexpr (Recording) {
     // A CAS both observes and (potentially) mutates: read+write footprint,
     // with the observed old value as the observation. Whether the swap hit
     // is a deterministic function of (old, expected), so old alone suffices.
@@ -679,30 +843,35 @@ std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
   return old;
 }
 
+template <bool Recording>
 bool SimRuntime::env_coin(Pid self) {
   const bool v = proc_rng_[self.index()].coin();
-  if (record_footprints_) [[unlikely]] {
+  if constexpr (Recording) {
     footprint_.drew_rand = true;
     obs_note(self, kObsCoin, v ? 1 : 0);
   }
   return v;
 }
 
+template <bool Recording>
 std::uint64_t SimRuntime::env_rand_below(Pid self, std::uint64_t bound) {
   const std::uint64_t v = proc_rng_[self.index()].below(bound);
-  if (record_footprints_) [[unlikely]] {
+  if constexpr (Recording) {
     footprint_.drew_rand = true;
     obs_note(self, kObsRand, v);
   }
   return v;
 }
 
+template <bool Recording>
 Step SimRuntime::env_now(Pid self) {
-  if (record_footprints_) [[unlikely]] {
+  if constexpr (Recording) {
     // Reading the clock makes the step depend on *every* other step (time
     // advances with each), so it is recorded as a global conflict.
     footprint_.observed_clock = true;
     obs_note(self, kObsNow, global_step_);
+  } else {
+    (void)self;
   }
   return global_step_;
 }

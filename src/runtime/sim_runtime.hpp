@@ -14,9 +14,16 @@
 // scheduler first (auto_step_on_shm), so interleavings are adversarial at
 // register-operation granularity — the granularity at which linearizability
 // of the register layer matters for the algorithms' safety proofs.
+//
+// Hot-path layout (docs/RUNTIME.md "Memory layout"): per-process scheduler
+// state lives in dense parallel arrays (proc_state_/proc_kill_/
+// proc_finished_/fiber_), registers in parallel arrays keyed by reg_index_,
+// and messages carry inline small-buffer payloads (runtime/message.hpp) —
+// a steady-state step performs zero heap allocations. Footprint recording
+// instrumentation is templated out of the non-recording Env backends (see
+// SimEnv below), so the no-checker code path contains none of it.
 #pragma once
 
-#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -29,6 +36,7 @@
 #include "runtime/env.hpp"
 #include "runtime/exec_backend.hpp"
 #include "runtime/fault_hook.hpp"
+#include "runtime/fiber.hpp"
 #include "runtime/footprint.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sim_config.hpp"
@@ -38,6 +46,15 @@ namespace mm::runtime {
 class SimRuntime;
 
 /// Per-process Env implementation; a thin facade over the runtime.
+///
+/// The runtime's Env backends are member templates over a `Recording`
+/// policy: the <false> instantiation — the only one the no-checker hot path
+/// executes — contains no footprint/observation code at all (compiled out,
+/// not branched around). This facade selects the instantiation with a single
+/// top-of-call branch on the runtime's recording flag, which keeps
+/// set_footprint_recording armable after a deterministic warmup prefix (the
+/// instance corpus relies on that) while the instrumentation itself stays
+/// out of the non-recording code path entirely.
 class SimEnv final : public Env {
  public:
   SimEnv(SimRuntime& rt, Pid self) : rt_(&rt), self_(self) {}
@@ -45,7 +62,6 @@ class SimEnv final : public Env {
   [[nodiscard]] Pid self() const override { return self_; }
   [[nodiscard]] std::size_t n() const override;
   void send(Pid to, Message m) override;
-  using Env::drain_inbox;
   void drain_inbox(std::vector<Message>& out) override;
   [[nodiscard]] RegId reg(RegKey key) override;
   [[nodiscard]] std::uint64_t read(RegId r) override;
@@ -58,8 +74,15 @@ class SimEnv final : public Env {
   [[nodiscard]] bool stop_requested() const override;
 
  private:
+  friend class SimRuntime;
+
   SimRuntime* rt_;
   Pid self_;
+  /// Bound by SimRuntime::start() when this process is fiber-backed: step()
+  /// — the single hottest Env call — then needs no runtime indirection at
+  /// all, just the inline switch and one kill-flag load.
+  Fiber* fiber_ = nullptr;
+  const std::uint8_t* kill_flag_ = nullptr;
 };
 
 class SimRuntime {
@@ -180,8 +203,11 @@ class SimRuntime {
   // touched (runtime/footprint.hpp) and folds everything the process
   // *observed* (read values, drained messages, coin draws, clock reads) into
   // a per-process rolling observation hash. The DPOR explorer in check/dpor.*
-  // consumes both. Off by default: disarmed cost is one predictable branch
-  // per Env operation, same discipline as trace_event.
+  // consumes both. Off by default, and cheap by default: the instrumented
+  // code exists only in the Recording=true instantiation of the Env
+  // backends, which the non-recording path never executes — arming simply
+  // flips which instantiation the SimEnv facade dispatches to, so recording
+  // may still be armed after a deterministic warmup prefix.
 
   /// Arm/disarm per-step footprint + observation recording.
   void set_footprint_recording(bool on);
@@ -233,9 +259,12 @@ class SimRuntime {
     friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
   };
 
-  /// Keep the last `capacity` events (0 disables tracing, the default).
+  /// Keep the last `capacity` events (0 disables tracing, the default unless
+  /// SimConfig::trace_capacity armed it at construction). Storage is a fixed
+  /// ring: memory use is bounded by the capacity, never by run length.
   void enable_trace(std::size_t capacity = 65'536);
-  [[nodiscard]] const std::deque<TraceEvent>& trace() const noexcept { return trace_; }
+  /// The retained events, oldest first (a copy — the live buffer is a ring).
+  [[nodiscard]] std::vector<TraceEvent> trace() const;
   /// Render the last `last_n` events, one per line (for failure triage).
   [[nodiscard]] std::string dump_trace(std::size_t last_n = 100) const;
 
@@ -244,21 +273,18 @@ class SimRuntime {
 
   enum class ProcState : std::uint8_t { kNew, kParked, kFinished, kCrashed };
 
+  /// Cold per-process handles. Everything the scheduler and Env hot paths
+  /// touch per step lives in the parallel arrays below instead (SoA), so a
+  /// scheduling decision reads dense bytes/words, not scattered structs.
   struct Proc {
     std::function<void(Env&)> body;
     std::unique_ptr<SimEnv> env;
     std::unique_ptr<ProcExec> exec;  ///< backend-specific execution context
-    ProcState state = ProcState::kNew;
-    bool kill = false;
-    bool finished_flag = false;  ///< set by the process wrapper before its final yield
     std::exception_ptr error;
-    Step last_scheduled = 0;
   };
 
-  struct RegMeta {
-    Pid owner;
-    bool global = false;
-  };
+  /// reg_acl_ sentinel: register readable/writable by everyone (global key).
+  static constexpr std::uint32_t kGlobalOwner = ~std::uint32_t{0};
 
   /// Memory-failure window for one host: failed while
   /// `fail_at <= global step < recover_at` (kNever = unbounded end / never
@@ -283,11 +309,32 @@ class SimRuntime {
     return a.deliver_at != b.deliver_at ? a.deliver_at > b.deliver_at : a.seq > b.seq;
   }
 
-  /// One scheduler step; returns false when no process is runnable.
+  /// One scheduler step; returns false when no process is runnable. The
+  /// general path: honours policy/timely/weights/injector hooks.
   bool step_once();
-  /// Hand one step to procs_[pick] and park again, bookkeeping included.
+  /// The specialised inner loop for the common configuration (no policy, no
+  /// injector, no timeliness, uniform weights, tracing off, recording off):
+  /// consumes exactly the same RNG draws and produces the same trajectory as
+  /// step_once, minus every disarmed-hook branch. Runs up to `k` steps.
+  Step run_fast(Step k);
+  [[nodiscard]] bool fast_path_eligible() const noexcept {
+    return !schedule_policy_ && injector_ == nullptr && !config_.timely.has_value() &&
+           config_.sched_weight.empty() && trace_capacity_ == 0 && !record_footprints_;
+  }
+  /// Hand one step to process `pick` and park again, bookkeeping included.
   void activate(std::size_t pick);
-  [[nodiscard]] bool runnable(const Proc& p) const;
+  /// Devirtualised handoff: direct inline fiber switch when fiber-backed.
+  void resume_proc(std::size_t i) {
+    Fiber* f = fiber_[i];
+    if (f != nullptr) {
+      f->resume();
+    } else {
+      procs_[i].exec->resume();
+    }
+  }
+  [[nodiscard]] bool runnable(std::size_t i) const {
+    return proc_state_[i] == static_cast<std::uint8_t>(ProcState::kParked);
+  }
   /// Drop a pid from the incrementally-maintained runnable list (kParked →
   /// kFinished/kCrashed transitions are one-way, so the list only shrinks).
   void remove_runnable(std::size_t idx);
@@ -297,7 +344,9 @@ class SimRuntime {
   /// from check_register_access so env_reg (naming) stays available during
   /// the window — mirrors the thread runtime's check_memory_alive.
   void check_memory_alive(RegId r) const;
-  void deliver_eligible(Pid to);
+  /// Pop every delivery-eligible message for `to` straight into `out`
+  /// (delivery order), maintaining pending_head_.
+  void drain_pending(Pid to, std::vector<Message>& out);
   /// Apply the partition hold rule to a tentative delivery step; re-draws
   /// the post-window delay from `rng` (the link stream for originals, the
   /// fault stream for injected duplicates).
@@ -305,16 +354,25 @@ class SimRuntime {
   void enqueue_message(Pid to, Step deliver_at, Message m);
 
   // Env backends (called from the running process thread; serialized by the
-  // semaphore handoff, so no locking is needed).
+  // semaphore handoff, so no locking is needed). Templated on the recording
+  // policy: the <false> instantiations contain no footprint/observation code.
+  template <bool Recording>
   void env_send(Pid from, Pid to, Message m);
+  template <bool Recording>
   void env_drain(Pid self, std::vector<Message>& out);
   RegId env_reg(Pid self, RegKey key);
+  template <bool Recording>
   std::uint64_t env_read(Pid self, RegId r);
+  template <bool Recording>
   void env_write(Pid self, RegId r, std::uint64_t v);
+  template <bool Recording>
   std::uint64_t env_cas(Pid self, RegId r, std::uint64_t expected, std::uint64_t desired);
   void env_step(Pid self);
+  template <bool Recording>
   bool env_coin(Pid self);
+  template <bool Recording>
   std::uint64_t env_rand_below(Pid self, std::uint64_t bound);
+  template <bool Recording>
   Step env_now(Pid self);
   void maybe_auto_step(Pid self);
 
@@ -338,7 +396,17 @@ class SimRuntime {
   SimBackend backend_;
   SchedulePolicy schedule_policy_;
   FaultInjector* injector_ = nullptr;
-  std::vector<std::unique_ptr<Proc>> procs_;
+  /// Pooled fiber stacks (config_.pooled_fiber_stacks). Declared before
+  /// procs_ so it outlives the fibers whose stacks it owns.
+  std::unique_ptr<FiberStackPool> stack_pool_;
+  std::vector<Proc> procs_;
+
+  // Per-process scheduler state, struct-of-arrays (hot; indexed by pid).
+  std::vector<std::uint8_t> proc_state_;     ///< ProcState values
+  std::vector<std::uint8_t> proc_kill_;      ///< kill flag read by env_step
+  std::vector<std::uint8_t> proc_finished_;  ///< set by the wrapper before its final yield
+  std::vector<Fiber*> fiber_;  ///< devirtualised handoff; null under the thread backend
+
   /// Runnable pids in pid order, maintained incrementally (see
   /// remove_runnable) instead of being rebuilt by scanning every step.
   std::vector<std::size_t> runnable_;
@@ -370,19 +438,26 @@ class SimRuntime {
   bool mem_faults_armed_ = false;
   LinkBurst burst_;
 
-  // Register table.
+  // Register table, struct-of-arrays keyed by reg_index_: value words,
+  // access-control words, and raw owners in dense parallel arrays so
+  // env_read/env_write touch one cache line each.
   std::unordered_map<RegKey, std::uint32_t> reg_index_;
   std::vector<std::uint64_t> reg_values_;
-  std::vector<RegMeta> reg_meta_;
-  std::vector<RegKey> reg_keys_;  ///< creation-order keys, for injector hooks
+  std::vector<std::uint32_t> reg_acl_;    ///< owner pid value, or kGlobalOwner
+  std::vector<std::uint32_t> reg_owner_;  ///< raw key owner (metrics, mem windows)
+  std::vector<RegKey> reg_keys_;          ///< creation-order keys, for injector hooks
 
   // Per-destination pending messages: a binary min-heap on (deliver_at, seq)
-  // (see delivers_later); inbox of already-delivered messages awaiting drain.
+  // (see delivers_later). pending_head_[d] caches the earliest deliver_at
+  // (kNever when empty) so a drain with nothing due never touches the heap.
   std::vector<std::vector<InFlight>> pending_;
-  std::vector<std::vector<Message>> inbox_;
+  std::vector<Step> pending_head_;
 
+  // Trace ring: trace_buf_ grows once to trace_capacity_ and then wraps,
+  // trace_head_ pointing at the oldest (= next overwritten) slot.
   std::size_t trace_capacity_ = 0;
-  std::deque<TraceEvent> trace_;
+  std::vector<TraceEvent> trace_buf_;
+  std::size_t trace_head_ = 0;
 
   // Footprint / observation recording (see the model-checker hooks above).
   bool record_footprints_ = false;

@@ -32,7 +32,6 @@ class ThreadEnv final : public Env {
   [[nodiscard]] Pid self() const override { return self_; }
   [[nodiscard]] std::size_t n() const override;
   void send(Pid to, Message m) override;
-  using Env::drain_inbox;
   void drain_inbox(std::vector<Message>& out) override;
   [[nodiscard]] RegId reg(RegKey key) override;
   [[nodiscard]] std::uint64_t read(RegId r) override;

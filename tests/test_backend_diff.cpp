@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -24,7 +23,7 @@ struct Snapshot {
   std::vector<std::uint64_t> regs;
   std::vector<std::uint64_t> sums;  ///< per-process values computed by the bodies
   Step now = 0;
-  std::deque<SimRuntime::TraceEvent> trace;
+  std::vector<SimRuntime::TraceEvent> trace;
 };
 
 /// A workload that exercises every Env facility: coins, bounded draws,

@@ -189,8 +189,10 @@ TEST(Bracha, ConcurrentInstancesAreIndependent) {
       BrachaBroadcast b{{.f = 1, .sender = Pid{1}, .tag = 11}};
       if (env.self() == Pid{0}) a.broadcast(env, 100);
       if (env.self() == Pid{1}) b.broadcast(env, 200);
+      std::vector<Message> drained;
       while (!a.delivered().has_value() || !b.delivered().has_value()) {
-        for (auto& m : env.drain_inbox()) {
+        env.drain_inbox(drained);
+        for (auto& m : drained) {
           (void)a.on_message(env, m);
           (void)b.on_message(env, m);
         }

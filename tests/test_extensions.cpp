@@ -86,7 +86,12 @@ TEST(Trace, RecordsScheduleSendDeliverAndRegisterOps) {
     env.write(env.reg(RegKey::make(core::kTagState, Pid{0})), 5);
   });
   rt.add_process([](Env& env) {
-    while (env.drain_inbox().empty()) env.step();
+    std::vector<runtime::Message> drained;
+    do {
+      env.drain_inbox(drained);
+      if (!drained.empty()) break;
+      env.step();
+    } while (true);
   });
   ASSERT_TRUE(rt.run_until_all_done(10'000));
   using Kind = SimRuntime::TraceEvent::Kind;

@@ -44,13 +44,15 @@ TEST(SimRuntime, DeterministicAcrossRuns) {
     std::vector<std::uint64_t> sums(4, 0);
     for (std::uint32_t p = 0; p < 4; ++p)
       rt.add_process([&sums, p](Env& env) {
+        std::vector<Message> drained;
         for (int i = 0; i < 50; ++i) {
           sums[p] = sums[p] * 3 + (env.coin() ? 1 : 0) + env.now();
           Message m;
           m.kind = 1;
           m.value = sums[p];
           env.send(Pid{(p + 1) % 4}, m);
-          for (const auto& r : env.drain_inbox()) sums[p] ^= r.value;
+          env.drain_inbox(drained);
+          for (const auto& r : drained) sums[p] ^= r.value;
           env.step();
         }
       });
@@ -80,8 +82,10 @@ TEST(SimRuntime, ReliableLinksDeliverEverything) {
     }
   });
   rt.add_process([&received](Env& env) {
+    std::vector<Message> drained;
     while (received < kMsgs) {
-      received += static_cast<int>(env.drain_inbox().size());
+      env.drain_inbox(drained);
+      received += static_cast<int>(drained.size());
       if (env.stop_requested()) return;
       env.step();
     }
@@ -107,8 +111,9 @@ TEST(SimRuntime, FairLossyDropsAtConfiguredRate) {
     }
   });
   rt.add_process([](Env& env) {
+    std::vector<Message> drained;
     while (!env.stop_requested()) {
-      (void)env.drain_inbox();
+      env.drain_inbox(drained);
       env.step();
     }
   });
@@ -135,8 +140,10 @@ TEST(SimRuntime, MessageDelayWithinBounds) {
     env.send(Pid{1}, m);
   });
   rt.add_process([&received_at](Env& env) {
+    std::vector<Message> drained;
     for (;;) {
-      if (!env.drain_inbox().empty()) {
+      env.drain_inbox(drained);
+      if (!drained.empty()) {
         received_at = env.now();
         return;
       }
@@ -305,8 +312,10 @@ TEST(SimRuntime, PartitionDelaysCrossTraffic) {
     env.send(Pid{1}, m);  // crosses the partition immediately
   });
   rt.add_process([&received_at](Env& env) {
+    std::vector<Message> drained;
     for (;;) {
-      if (!env.drain_inbox().empty()) {
+      env.drain_inbox(drained);
+      if (!drained.empty()) {
         received_at = env.now();
         return;
       }
@@ -328,8 +337,10 @@ TEST(SimRuntime, PartitionDoesNotAffectSameSide) {
     env.send(Pid{1}, m);  // same side: unaffected
   });
   rt.add_process([&received_at](Env& env) {
+    std::vector<Message> drained;
     for (;;) {
-      if (!env.drain_inbox().empty()) {
+      env.drain_inbox(drained);
+      if (!drained.empty()) {
         received_at = env.now();
         return;
       }
@@ -385,8 +396,10 @@ TEST(SimRuntime, SendToSelfWorks) {
     Message m;
     m.kind = 9;
     env.send(env.self(), m);
+    std::vector<Message> drained;
     while (!got) {
-      for (const auto& r : env.drain_inbox())
+      env.drain_inbox(drained);
+      for (const auto& r : drained)
         if (r.kind == 9 && r.from == env.self()) got = true;
       env.step();
     }
