@@ -27,6 +27,7 @@
 #include "exec/jobs.hpp"
 #include "graph/expansion.hpp"
 #include "graph/generators.hpp"
+#include "graph/partitioner.hpp"
 #include "runtime/exec_backend.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/sim_runtime.hpp"
@@ -296,6 +297,7 @@ AllocRates measure_alloc_rates(Step steps) {
 struct SweepTiming {
   core::TerminationSweep sweep;
   double trials_per_sec = 0.0;
+  std::size_t jobs_used = 1;  ///< workers the engine actually ran with
 };
 
 SweepTiming measure_trials_per_sec(std::size_t jobs, std::uint64_t trials,
@@ -310,10 +312,67 @@ SweepTiming measure_trials_per_sec(std::size_t jobs, std::uint64_t trials,
   cfg.seed = 9'000;
   cfg.backend = backend;
   SweepTiming out;
+  // Resolve the worker count the same way the engine will: the scoped
+  // override (or environment/hardware default), clamped by the trial count —
+  // parallel_map never uses more workers than items. This is what the JSON's
+  // "jobs" field must report; the pre-override default_jobs() it used to
+  // record could silently disagree with the measured configuration.
+  out.jobs_used = std::min<std::size_t>(exec::default_jobs(), trials);
   const auto start = std::chrono::steady_clock::now();
   out.sweep = core::sweep_termination(cfg, trials);
   out.trials_per_sec = static_cast<double>(trials) / seconds_since(start);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned-engine throughput (schema-4 additions).
+// ---------------------------------------------------------------------------
+
+struct PartedRates {
+  double steps_per_sec = 0.0;
+  double cross_msgs_per_sec = 0.0;
+};
+
+// The partitioned simulator on its natural workload: many processes, an
+// edgeless GSM (every contiguous plan is legal), ring messaging, and a loose
+// delay band — min_delay = max_delay = 64 gives each LP 64 steps of
+// lookahead per horizon check, so partitions genuinely run ahead of each
+// other instead of handing off in lockstep. Fixed step budget: the
+// trajectory is identical at every K, so the rates are comparable.
+PartedRates measure_partitioned_steps_per_sec(std::uint32_t k, Step steps) {
+  constexpr std::uint32_t kProcs = 2048;
+  runtime::SimConfig cfg;
+  cfg.gsm = graph::Graph{kProcs};
+  cfg.seed = 77;
+  cfg.min_delay = 64;
+  cfg.max_delay = 64;
+  cfg.partitions = k;
+  cfg.partition_of = graph::partition_contiguous(kProcs, k).part_of;
+  cfg.fiber_stack_bytes = 32 * 1024;
+  cfg.pooled_fiber_stacks = true;
+  runtime::SimRuntime rt{cfg};
+  for (std::uint32_t p = 0; p < kProcs; ++p) {
+    rt.add_process([p](runtime::Env& env) {
+      std::vector<runtime::Message> drained;
+      drained.reserve(16);
+      runtime::Message m;
+      m.kind = 1;
+      for (;;) {
+        m.value = env.now();
+        env.send(Pid{(p + 1) % kProcs}, m);
+        env.drain_inbox(drained);
+        env.step();
+      }
+    });
+  }
+  rt.start();
+  rt.run_steps(steps / 10);  // warm up (stacks committed, heaps sized)
+  const std::uint64_t cross_before = rt.cross_partition_msgs();
+  const auto start = std::chrono::steady_clock::now();
+  rt.run_steps(steps);
+  const double secs = seconds_since(start);
+  return {static_cast<double>(steps) / secs,
+          static_cast<double>(rt.cross_partition_msgs() - cross_before) / secs};
 }
 
 bool identical(const core::TerminationSweep& a, const core::TerminationSweep& b) {
@@ -328,7 +387,6 @@ int write_bench_runtime_json() {
   const std::string path = path_env != nullptr ? path_env : "BENCH_runtime.json";
   const Step step_count = quick ? 100'000 : 1'000'000;
   const std::uint64_t trials = quick ? 8 : 32;
-  const std::size_t jobs = exec::default_jobs();
 
   // sim_steps_per_sec keeps its schema-1 meaning — the default backend —
   // alongside explicit per-backend rates and the raw fiber handoff floor.
@@ -340,9 +398,20 @@ int write_bench_runtime_json() {
   const double handoffs_per_sec = measure_handoffs_per_sec(quick ? 200'000 : 2'000'000);
   const AllocRates alloc_rates = measure_alloc_rates(quick ? 50'000 : 500'000);
 
-  (void)measure_trials_per_sec(jobs, trials > 8 ? 8 : trials);  // warm up
+  // Partitioned (parallel-in-one-run) engine, schema 4: the K-way rate, the
+  // speedup over the identical K=1 partitioned run, and the cross-partition
+  // handoff traffic. K targets the machine (2..8 partitions).
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t partitions = std::max(2u, std::min(hw, 8u));
+  const Step parted_steps = quick ? 200'000 : 2'000'000;
+  const PartedRates parted_base = measure_partitioned_steps_per_sec(1, parted_steps);
+  const PartedRates parted = measure_partitioned_steps_per_sec(partitions, parted_steps);
+  const double intra_run_speedup = parted.steps_per_sec / parted_base.steps_per_sec;
+
+  (void)measure_trials_per_sec(0, trials > 8 ? 8 : trials);  // warm up
   const SweepTiming seq = measure_trials_per_sec(1, trials);
-  const SweepTiming par = measure_trials_per_sec(jobs, trials);
+  const SweepTiming par = measure_trials_per_sec(0, trials);  // 0 = env/hw default
+  const std::size_t jobs = par.jobs_used;
   const bool deterministic = identical(seq.sweep, par.sweep);
 
   // Backend invariance: the same sweep, forced onto each backend, must
@@ -362,7 +431,7 @@ int write_bench_runtime_json() {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 3,\n"
+               "  \"schema\": 4,\n"
                "  \"quick\": %s,\n"
                "  \"jobs\": %zu,\n"
                "  \"hardware_concurrency\": %u,\n"
@@ -371,6 +440,10 @@ int write_bench_runtime_json() {
                "  \"sim_steps_per_sec_coroutine\": %.1f,\n"
                "  \"sim_steps_per_sec_thread\": %.1f,\n"
                "  \"handoffs_per_sec\": %.1f,\n"
+               "  \"partitions\": %u,\n"
+               "  \"sim_steps_per_sec_partitioned\": %.1f,\n"
+               "  \"intra_run_speedup\": %.3f,\n"
+               "  \"cross_partition_msgs_per_sec\": %.1f,\n"
                "  \"alloc_counting_active\": %s,\n"
                "  \"allocs_per_step\": %.6f,\n"
                "  \"bytes_per_step\": %.4f,\n"
@@ -383,7 +456,8 @@ int write_bench_runtime_json() {
                "}\n",
                quick ? "true" : "false", jobs, std::thread::hardware_concurrency(),
                to_string(runtime::default_sim_backend()), steps_per_sec, steps_coroutine,
-               steps_thread, handoffs_per_sec,
+               steps_thread, handoffs_per_sec, partitions, parted.steps_per_sec,
+               intra_run_speedup, parted.cross_msgs_per_sec,
                common::alloc_counting_active() ? "true" : "false", alloc_rates.allocs_per_step,
                alloc_rates.bytes_per_step, static_cast<unsigned long long>(trials),
                seq.trials_per_sec, par.trials_per_sec, par.trials_per_sec / seq.trials_per_sec,
@@ -395,6 +469,8 @@ int write_bench_runtime_json() {
   std::printf("  coroutine backend  : %.0f steps/sec\n", steps_coroutine);
   std::printf("  thread backend     : %.0f steps/sec\n", steps_thread);
   std::printf("  fiber handoffs/sec : %.0f\n", handoffs_per_sec);
+  std::printf("  partitioned (K=%u) : %.0f steps/sec (%.2fx vs K=1, %.0f cross msgs/sec)\n",
+              partitions, parted.steps_per_sec, intra_run_speedup, parted.cross_msgs_per_sec);
   std::printf("  allocs/step        : %.6f (%.2f bytes/step%s)\n", alloc_rates.allocs_per_step,
               alloc_rates.bytes_per_step,
               common::alloc_counting_active() ? "" : "; counting inactive");

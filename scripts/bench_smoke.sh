@@ -34,7 +34,7 @@ echo "== bench_e9_ablation =="
 echo "== validating $json =="
 [ -s "$json" ] || { echo "FAIL: $json missing or empty"; exit 1; }
 
-required_keys="schema jobs hardware_concurrency backend_default sim_steps_per_sec sim_steps_per_sec_coroutine sim_steps_per_sec_thread handoffs_per_sec alloc_counting_active allocs_per_step bytes_per_step trials_per_sec_seq trials_per_sec_par parallel_speedup deterministic backend_invariant"
+required_keys="schema jobs hardware_concurrency backend_default sim_steps_per_sec sim_steps_per_sec_coroutine sim_steps_per_sec_thread handoffs_per_sec partitions sim_steps_per_sec_partitioned intra_run_speedup cross_partition_msgs_per_sec alloc_counting_active allocs_per_step bytes_per_step trials_per_sec_seq trials_per_sec_par parallel_speedup deterministic backend_invariant"
 if command -v jq > /dev/null 2>&1; then
   for key in $required_keys; do
     jq -e --arg k "$key" 'has($k)' "$json" > /dev/null \
@@ -65,6 +65,18 @@ if command -v jq > /dev/null 2>&1; then
     awk -v s="$speedup" 'BEGIN { exit !(s < 1.2) }' \
       && echo "WARN: parallel_speedup=$speedup despite $hc cores ($jobs jobs)"
   fi
+  # Partitioned intra-run speedup: a hard floor where cores exist to deliver
+  # it, a warning where they don't (K LPs on < 4 threads mostly timeshare).
+  intra=$(jq -r '.intra_run_speedup' "$json")
+  parts=$(jq -r '.partitions' "$json")
+  echo "partitions=$parts intra_run_speedup=$intra"
+  if [ "$hc" -ge 4 ]; then
+    awk -v s="$intra" 'BEGIN { exit !(s < 1.5) }' \
+      && { echo "FAIL: intra_run_speedup=$intra < 1.5 despite $hc cores ($parts partitions)"; exit 1; }
+  else
+    awk -v s="$intra" 'BEGIN { exit !(s < 1.0) }' \
+      && echo "WARN: intra_run_speedup=$intra on $hc core(s) — expected ~1.0, re-measure on a multi-core machine"
+  fi
 elif command -v python3 > /dev/null 2>&1; then
   python3 - "$json" $required_keys <<'EOF'
 import json, sys
@@ -83,6 +95,12 @@ speedup = doc["parallel_speedup"]
 print(f"jobs={jobs} hardware_concurrency={hc} parallel_speedup={speedup}")
 if hc > 1 and jobs > 1 and speedup < 1.2:
     print(f"WARN: parallel_speedup={speedup} despite {hc} cores ({jobs} jobs)")
+intra, parts = doc["intra_run_speedup"], doc["partitions"]
+print(f"partitions={parts} intra_run_speedup={intra}")
+if hc >= 4 and intra < 1.5:
+    sys.exit(f"FAIL: intra_run_speedup={intra} < 1.5 despite {hc} cores ({parts} partitions)")
+if hc < 4 and intra < 1.0:
+    print(f"WARN: intra_run_speedup={intra} on {hc} core(s) — expected ~1.0, re-measure on a multi-core machine")
 import os
 if os.path.exists("BENCH_runtime.json"):
     ref = json.load(open("BENCH_runtime.json")).get("sim_steps_per_sec", 0)

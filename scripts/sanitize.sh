@@ -1,33 +1,59 @@
 #!/usr/bin/env bash
-# Sanitizer pass: rebuild under ASan+UBSan (-DMM_SANITIZE=ON) and run the
-# runtime- and exec-focused tests — the code that switches stacks (fiber
-# backend), parks threads (thread backend), and fans trials out across the
-# worker pool. Wired into CTest under the "sanitize" label:
-#     ctest -L sanitize
+# Sanitizer pass: rebuild under a sanitizer and run the runtime- and
+# exec-focused tests — the code that switches stacks (fiber backend), parks
+# threads (thread backend), fans trials out across the worker pool, and runs
+# K logical partitions concurrently inside one simulation (partitioned
+# SimRuntime). Wired into CTest under the "sanitize" / "tsan" labels:
+#     ctest -L sanitize        # ASan+UBSan
+#     ctest -L tsan            # ThreadSanitizer
 #
-# The fiber backend participates in ASan's fake-stack bookkeeping through the
-# __sanitizer_*_switch_fiber hooks (see src/runtime/fiber.cpp), so stack
-# switching is fully instrumented, not suppressed.
+# Modes (MM_SANITIZE env, mirroring the CMake cache var):
+#   address (default)  ASan+UBSan in build-sanitize. The fiber backend
+#                      participates in ASan's fake-stack bookkeeping through
+#                      the __sanitizer_*_switch_fiber hooks (fiber.cpp), so
+#                      stack switching is fully instrumented, not suppressed.
+#   thread             TSan in build-tsan. Fibers register with the
+#                      __tsan_*_fiber API (fiber.cpp), so the coroutine
+#                      backend's stack switches keep TSan's shadow state
+#                      coherent; the partitioned engine's clock/handoff
+#                      protocol is checked for real data races.
 #
 # Env:
-#   BUILD_DIR     sanitizer build tree (default: build-sanitize)
+#   MM_SANITIZE   address (default) | thread
+#   BUILD_DIR     sanitizer build tree (default: build-sanitize / build-tsan)
 #   GTEST_FILTER  override the test filter (default: runtime/exec suites)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${BUILD_DIR:-build-sanitize}
-FILTER=${GTEST_FILTER:-'Fiber.*:BackendDiff.*:TupleVec.*:SlabPool.*:AllocInvariant.*:SimRuntime.*:SimEnv.*:SimConfigValidate.*:Jobs.*:ParallelMap.*:TrialEngine.*:SweepTermination.*:ThreadRuntime.*:FaultEngine.*:FaultJson.*:ChaosCampaign.*:ChaosShrink.*:Explore.*:Dpor.*'}
+MODE=${MM_SANITIZE:-address}
+case "$MODE" in
+  thread)
+    BUILD_DIR=${BUILD_DIR:-build-tsan}
+    # Runtime + concurrency surface only: TSan's ~10x slowdown makes the full
+    # suite impractical, and the single-threaded analysis passes add nothing.
+    FILTER=${GTEST_FILTER:-'Fiber.*:BackendDiff.*:SimRuntime.*:SimEnv.*:Jobs.*:ParallelMap.*:TrialEngine.*:ThreadRuntime.*:Partition*:Modes/PartitionDiff.*'}
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+    ;;
+  address|ON|on)
+    MODE=address
+    BUILD_DIR=${BUILD_DIR:-build-sanitize}
+    FILTER=${GTEST_FILTER:-'Fiber.*:BackendDiff.*:TupleVec.*:SlabPool.*:AllocInvariant.*:SimRuntime.*:SimEnv.*:SimConfigValidate.*:Jobs.*:ParallelMap.*:TrialEngine.*:SweepTermination.*:ThreadRuntime.*:FaultEngine.*:FaultJson.*:ChaosCampaign.*:ChaosShrink.*:Explore.*:Dpor.*:Partition*:Modes/PartitionDiff.*'}
+    # Leak checking needs ptrace, which containers often deny; the point here
+    # is stack/UB instrumentation, so default it off (overridable).
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+    ;;
+  *)
+    echo "unknown MM_SANITIZE mode: $MODE (want address or thread)" >&2
+    exit 2
+    ;;
+esac
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
-  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMM_SANITIZE=ON
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DMM_SANITIZE=$MODE"
 fi
 cmake --build "$BUILD_DIR" -j --target mm_tests
 
-# Leak checking needs ptrace, which containers often deny; the point here is
-# stack/UB instrumentation, so default it off (overridable via ASAN_OPTIONS).
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
-
 "$BUILD_DIR/tests/mm_tests" --gtest_filter="$FILTER" --gtest_brief=1
 
-echo "sanitize OK"
+echo "sanitize ($MODE) OK"

@@ -29,4 +29,18 @@ void WorkerPool::run_indexed(std::uint64_t count, std::size_t workers,
   for (auto& t : threads) t.join();
 }
 
+void WorkerPool::run_per_worker(std::uint64_t count,
+                                const std::function<void(std::uint64_t)>& job) {
+  if (count == 0) return;
+  if (count == 1) {
+    job(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(count - 1));
+  for (std::uint64_t i = 1; i < count; ++i) threads.emplace_back([&job, i] { job(i); });
+  job(0);  // the caller is worker 0
+  for (auto& t : threads) t.join();
+}
+
 }  // namespace mm::exec

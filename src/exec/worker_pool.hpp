@@ -21,6 +21,15 @@ class WorkerPool {
   /// `workers` is clamped to `count`; with workers <= 1 the job runs inline.
   static void run_indexed(std::uint64_t count, std::size_t workers,
                           const std::function<void(std::uint64_t)>& job);
+
+  /// Co-scheduled variant: exactly `count` workers, worker i runs job(i) and
+  /// nothing else, all concurrently. Required when the jobs synchronize with
+  /// each other (the partitioned simulator's LPs block on each other's
+  /// clocks): run_indexed's dynamic claiming could hand two such jobs to one
+  /// thread and deadlock. With count <= 1 the job runs inline; otherwise the
+  /// caller is worker 0 and the call blocks until every job returns.
+  static void run_per_worker(std::uint64_t count,
+                             const std::function<void(std::uint64_t)>& job);
 };
 
 }  // namespace mm::exec

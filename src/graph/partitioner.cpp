@@ -1,0 +1,100 @@
+#include "graph/partitioner.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace mm::graph {
+
+PartitionPlan partition_contiguous(std::size_t n, std::uint32_t k) {
+  MM_ASSERT_MSG(k >= 1, "partition_contiguous: k must be >= 1");
+  if (k > n && n > 0) k = static_cast<std::uint32_t>(n);
+  PartitionPlan plan;
+  plan.k = k;
+  plan.part_of.resize(n);
+  plan.size.assign(k, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    // Block q covers [q*n/k, (q+1)*n/k); invert with q = p*k/n.
+    const auto q = static_cast<std::uint32_t>((p * k) / n);
+    plan.part_of[p] = q;
+    ++plan.size[q];
+  }
+  return plan;
+}
+
+PartitionPlan partition_components(const Graph& g, std::uint32_t k) {
+  MM_ASSERT_MSG(k >= 1, "partition_components: k must be >= 1");
+  const std::size_t n = g.size();
+
+  // Label components by BFS in pid order, so component ids are themselves
+  // deterministic (component c's representative is its smallest pid).
+  constexpr std::uint32_t kUnset = ~std::uint32_t{0};
+  std::vector<std::uint32_t> comp_of(n, kUnset);
+  struct Comp {
+    std::uint32_t id = 0;
+    std::uint32_t min_pid = 0;
+    std::uint32_t size = 0;
+  };
+  std::vector<Comp> comps;
+  std::queue<std::uint32_t> frontier;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (comp_of[s] != kUnset) continue;
+    const auto cid = static_cast<std::uint32_t>(comps.size());
+    comps.push_back(Comp{cid, static_cast<std::uint32_t>(s), 0});
+    comp_of[s] = cid;
+    frontier.push(static_cast<std::uint32_t>(s));
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop();
+      ++comps[cid].size;
+      for (const Pid v : g.neighbors(Pid{u})) {
+        if (comp_of[v.index()] != kUnset) continue;
+        comp_of[v.index()] = cid;
+        frontier.push(v.value());
+      }
+    }
+  }
+
+  if (k > comps.size() && !comps.empty()) k = static_cast<std::uint32_t>(comps.size());
+  if (comps.empty()) k = 1;
+
+  // Largest components first (ties by smallest pid), greedily onto the
+  // least-loaded bin (ties by lowest bin index). Deterministic end to end.
+  std::vector<std::uint32_t> order(comps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (comps[a].size != comps[b].size) return comps[a].size > comps[b].size;
+    return comps[a].min_pid < comps[b].min_pid;
+  });
+
+  std::vector<std::uint32_t> bin_of_comp(comps.size(), 0);
+  std::vector<std::uint32_t> load(k, 0);
+  for (const std::uint32_t c : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t b = 1; b < k; ++b) {
+      if (load[b] < load[best]) best = b;
+    }
+    bin_of_comp[c] = best;
+    load[best] += comps[c].size;
+  }
+
+  PartitionPlan plan;
+  plan.k = k;
+  plan.part_of.resize(n);
+  plan.size = std::move(load);
+  for (std::size_t p = 0; p < n; ++p) plan.part_of[p] = bin_of_comp[comp_of[p]];
+  return plan;
+}
+
+bool plan_respects_edges(const Graph& g, const std::vector<std::uint32_t>& part_of) {
+  if (part_of.size() != g.size()) return false;
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    for (const Pid v : g.neighbors(Pid{static_cast<std::uint32_t>(u)})) {
+      if (part_of[u] != part_of[v.index()]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mm::graph

@@ -1,0 +1,47 @@
+// Deterministic GSM-aware partition planning for the LP-sharded simulator.
+//
+// A partition plan assigns every process to one of k logical partitions
+// (LPs). The partitioned SimRuntime pins each register shard to the
+// partition of its owner, so a plan is only usable when no GSM edge crosses
+// partitions — otherwise a neighbor could not reach registers it is entitled
+// to under the paper's Sp = {p} ∪ neighbors(p) access rule. The planner
+// therefore works at the granularity of GSM connected components: each
+// component is an indivisible unit, bin-packed onto the k least-loaded
+// partitions in deterministic order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mm::graph {
+
+/// A process → partition assignment. `part_of[p]` is the partition index of
+/// process p; `size[q]` counts processes assigned to partition q. Plans
+/// produced by the planners below are pure functions of their inputs.
+struct PartitionPlan {
+  std::uint32_t k = 1;
+  std::vector<std::uint32_t> part_of;
+  std::vector<std::uint32_t> size;
+};
+
+/// Splits {0..n-1} into k contiguous blocks of near-equal size (block q gets
+/// pids [q*n/k, (q+1)*n/k)). Only legal for the partitioned runtime when no
+/// GSM edge crosses a block boundary — callers pass such plans explicitly
+/// via SimConfig::partition_of and validate() checks the edge rule.
+[[nodiscard]] PartitionPlan partition_contiguous(std::size_t n, std::uint32_t k);
+
+/// Graph-aware plan: finds the connected components of `g`, orders them
+/// deterministically (larger first, ties by smallest pid), and greedily
+/// assigns each to the least-loaded partition (ties by lowest partition
+/// index). If `g` has fewer than k components, k is clamped down — the
+/// returned plan's `k` is the number of partitions actually used.
+[[nodiscard]] PartitionPlan partition_components(const Graph& g, std::uint32_t k);
+
+/// True when no edge of `g` crosses partitions under `part_of` — the
+/// register-shard ownership rule of the partitioned runtime.
+[[nodiscard]] bool plan_respects_edges(const Graph& g,
+                                       const std::vector<std::uint32_t>& part_of);
+
+}  // namespace mm::graph

@@ -29,6 +29,23 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_
 }
 #endif
 
+// -- ThreadSanitizer fiber protocol -----------------------------------------
+// TSan keeps per-thread shadow state (clocks, shadow call stack). A userspace
+// stack switch it cannot see leaves it attributing the fiber's accesses to
+// the resumer's state — phantom races and corrupted shadow stacks. Each Fiber
+// therefore owns a __tsan_create_fiber identity, and every transfer calls
+// __tsan_switch_to_fiber immediately before the real switch. Flag 0 makes
+// the switch itself a synchronization point, matching the semantics of a
+// same-thread handoff.
+#if defined(MM_FIBER_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace mm::runtime {
 namespace {
 
@@ -139,6 +156,9 @@ void* init_frame(void* stack_lo, std::size_t stack_bytes, Fiber* self) {
 #endif  // __x86_64__
 
 void Fiber::init_context() {
+#if defined(MM_FIBER_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 #if defined(__x86_64__)
   sp_ = init_frame(stack_lo_, stack_bytes_, this);
 #else
@@ -186,6 +206,9 @@ Fiber::~Fiber() {
   // owner (SimRuntime::shutdown) must kill-and-drain first. Enforce it: the
   // alternative is silently skipped destructors on the fiber stack.
   MM_ASSERT_MSG(done_ || !started_, "fiber destroyed while suspended mid-entry");
+#if defined(MM_FIBER_TSAN)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 #if !defined(__x86_64__)
   delete static_cast<ucontext_t*>(uctx_);
   delete static_cast<ucontext_t*>(caller_uctx_);
@@ -210,6 +233,9 @@ void Fiber::run_entry(Fiber* self) {
   // Final switch out: null handle releases this fiber's fake stack.
   __sanitizer_start_switch_fiber(nullptr, self->caller_stack_bottom_,
                                  self->caller_stack_size_);
+#endif
+#if defined(MM_FIBER_TSAN)
+  __tsan_switch_to_fiber(self->tsan_caller_, 0);
 #endif
 #if defined(__x86_64__)
   mm_fiber_switch(&self->sp_, self->caller_sp_);
@@ -243,6 +269,12 @@ void Fiber::resume() {
 #if defined(MM_FIBER_ASAN)
   __sanitizer_start_switch_fiber(&caller_fake_stack_, stack_lo_, stack_bytes_);
 #endif
+#if defined(MM_FIBER_TSAN)
+  // The resumer's identity can differ between resumes (worker-pool threads,
+  // nested runtimes), so capture it fresh every time.
+  tsan_caller_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
 #if defined(__x86_64__)
   mm_fiber_switch(&caller_sp_, sp_);
 #else
@@ -259,6 +291,9 @@ void Fiber::yield() {
 #if defined(MM_FIBER_ASAN)
   __sanitizer_start_switch_fiber(&fiber_fake_stack_, caller_stack_bottom_,
                                  caller_stack_size_);
+#endif
+#if defined(MM_FIBER_TSAN)
+  __tsan_switch_to_fiber(tsan_caller_, 0);
 #endif
 #if defined(__x86_64__)
   mm_fiber_switch(&sp_, caller_sp_);

@@ -31,8 +31,8 @@
 
 #include "common/assert.hpp"
 
-// ASan detection, needed here because it decides whether resume()/yield()
-// may be inlined without the fiber-switch annotations.
+// Sanitizer detection, needed here because it decides whether
+// resume()/yield() may be inlined without the fiber-switch annotations.
 #if defined(__SANITIZE_ADDRESS__)
 #define MM_FIBER_ASAN 1
 #elif defined(__has_feature)
@@ -41,7 +41,20 @@
 #endif
 #endif
 
-#if defined(__x86_64__) && !defined(MM_FIBER_ASAN)
+// ThreadSanitizer tracks a shadow state per thread; switching stacks behind
+// its back makes it read the wrong shadow and report phantom races. TSan
+// builds therefore register every fiber via the __tsan_*_fiber API and
+// announce every transfer (see fiber.cpp) — which, like ASan, forces the
+// out-of-line switch path.
+#if defined(__SANITIZE_THREAD__)
+#define MM_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MM_FIBER_TSAN 1
+#endif
+#endif
+
+#if defined(__x86_64__) && !defined(MM_FIBER_ASAN) && !defined(MM_FIBER_TSAN)
 #define MM_FIBER_INLINE_SWITCH 1
 extern "C" void mm_fiber_switch(void** save_sp, void* target_sp);
 #endif
@@ -138,6 +151,10 @@ class Fiber {
   void* fiber_fake_stack_ = nullptr;        ///< saved by yield()
   const void* caller_stack_bottom_ = nullptr;
   std::size_t caller_stack_size_ = 0;
+
+  // ThreadSanitizer fiber identities (TSan builds only; see fiber.cpp).
+  void* tsan_fiber_ = nullptr;   ///< this fiber's __tsan_create_fiber handle
+  void* tsan_caller_ = nullptr;  ///< the resumer's identity, saved by resume()
 };
 
 /// Bulk stack storage for dense fiber populations (n ≥ 10^5).

@@ -1,0 +1,340 @@
+// The partitioned (LP-sharded) engine of SimRuntime.
+//
+// K logical partitions advance the same global virtual-step line
+// concurrently under Chandy–Misra–Bryant conservative synchronization. Every
+// LP replays an identical replica of the scheduler stream, so all LPs agree
+// on which process owns every step without communicating; an LP executes the
+// steps of its own processes and treats everyone else's as no-ops. The link
+// delay lower bound is the lookahead: before executing a local slice at step
+// t, an LP waits until every peer's published clock c_q satisfies
+// c_q + min_delay > t, which guarantees every message deliverable at or
+// before t has already been pushed (and, via the acquire on the clock, is
+// visible). The minimum-clock LP always passes the check, so the scheme is
+// deadlock-free without explicit null messages — the atomic clock stores ARE
+// the null messages.
+//
+// Determinism: the trajectory is a pure function of (seed, config) — by
+// construction invariant in the partition count and MM_JOBS — but it is its
+// OWN schedule contract, intentionally distinct from sequential mode (see
+// docs/RUNTIME.md "Partitioned execution").
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "exec/worker_pool.hpp"
+#include "graph/partitioner.hpp"
+#include "runtime/sim_partition_detail.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace mm::runtime {
+
+thread_local SimRuntime::PartCtx SimRuntime::tl_part_;
+
+void SimRuntime::init_partitions() {
+  const std::size_t n = config_.n();
+  std::uint32_t req;
+  if (config_.partitions.has_value()) {
+    req = *config_.partitions;  // validate() enforced every eligibility rule
+  } else {
+    req = default_sim_partitions();
+    if (req == 0) return;
+    // The environment default is advisory: configs the partitioned contract
+    // cannot express silently stay sequential instead of failing runs that
+    // never asked for partitioning.
+    const bool weights_uniform =
+        std::all_of(config_.sched_weight.begin(), config_.sched_weight.end(),
+                    [](double w) { return w == 1.0; });
+    if (config_.min_delay < 1 || config_.timely.has_value() ||
+        config_.partition.has_value() || config_.trace_capacity != 0 || !weights_uniform)
+      return;
+    if (req > n) req = static_cast<std::uint32_t>(n);
+  }
+  if (!config_.partition_of.empty()) {
+    // Explicit plan, already validated. Used as-is: a partition left with no
+    // processes is legal and runs as a pure no-op scanner.
+    part_of_ = config_.partition_of;
+    nparts_ = req;
+  } else {
+    graph::PartitionPlan plan = graph::partition_components(config_.gsm, req);
+    part_of_ = std::move(plan.part_of);
+    nparts_ = plan.k;
+  }
+  partitioned_ = true;
+  part_ = std::make_unique<PartitionState>();
+  // Shards exist from construction so register_value/register_dump work on a
+  // runtime that never ran.
+  part_->shards = std::vector<PartitionState::RegShard>(nparts_);
+}
+
+void SimRuntime::start_partitioned() {
+  const std::size_t n = config_.n();
+  PartitionState& ps = *part_;
+  ps.lps = std::vector<Lp>(nparts_);
+  ps.clocks = std::vector<PartitionState::PubClock>(nparts_);
+  ps.inbox = std::vector<PartitionState::Inbox>(nparts_);
+  // Per-sender split streams, derived in pid order from the same seed bases
+  // the sequential global streams use.
+  Rng link_seeder{config_.seed * 0xc2b2ae3d27d4eb4fULL + 2};
+  Rng fault_seeder{config_.seed * 0xd6e8feb86659fd93ULL + 3};
+  ps.link_rng_of.reserve(n);
+  ps.fault_rng_of.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) ps.link_rng_of.push_back(link_seeder.split());
+  for (std::size_t p = 0; p < n; ++p) ps.fault_rng_of.push_back(fault_seeder.split());
+  lp_by_pid_.assign(n, nullptr);
+  for (std::size_t p = 0; p < n; ++p) lp_by_pid_[p] = &ps.lps[part_of_[p]];
+  for (std::uint32_t q = 0; q < nparts_; ++q) {
+    Lp& lp = ps.lps[q];
+    lp.index = q;
+    // Every LP replays the same pick stream — replicas of sched_rng_'s
+    // initial state, never the live object. This is the replicated-scheduler
+    // tax that buys lock-free agreement on the global schedule.
+    lp.sched = Rng{config_.seed * 0x9e3779b97f4a7c15ULL + 1};
+    lp.burst = burst_;
+  }
+  for (const auto& [step, pid] : crash_schedule_)
+    ps.lps[part_of_[pid]].crashes.emplace_back(step, pid);
+  ps.live.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+}
+
+Step SimRuntime::run_partitioned(Step k) {
+  MM_ASSERT_MSG(!schedule_policy_,
+                "schedule policies are sequential-only (the partitioned pick "
+                "schedule is static)");
+  MM_ASSERT_MSG(injector_ == nullptr,
+                "partitioned mode takes per-partition injector replicas "
+                "(set_partition_fault_injectors), not a single global injector");
+  PartitionState& ps = *part_;
+  if (k == 0 || ps.live.load(std::memory_order_acquire) == 0) return 0;
+  const Step base = global_step_;
+  const Step target = base + k;
+  exec::WorkerPool::run_per_worker(nparts_, [this, target](std::uint64_t q) {
+    lp_run(part_->lps[static_cast<std::size_t>(q)], target);
+  });
+  global_step_ = std::min(ps.stop.load(std::memory_order_acquire), target);
+  // Post-chunk bookkeeping on the driver thread (the joins above order every
+  // LP's writes before this): flush messages still parked in handoff inboxes
+  // into the pending heaps — state_hash and the next chunk's first slices
+  // must see them — and merge the per-LP scalar counters.
+  for (Lp& lp : ps.lps) {
+    drain_handoff(lp);
+    metrics_.msgs_sent += lp.scalars.msgs_sent;
+    metrics_.msgs_delivered += lp.scalars.msgs_delivered;
+    metrics_.msgs_dropped += lp.scalars.msgs_dropped;
+    metrics_.reg_reads += lp.scalars.reg_reads;
+    metrics_.reg_writes += lp.scalars.reg_writes;
+    metrics_.reg_cas_ops += lp.scalars.reg_cas_ops;
+    metrics_.reg_reads_local += lp.scalars.reg_reads_local;
+    metrics_.reg_writes_local += lp.scalars.reg_writes_local;
+    lp.scalars = Metrics{0};
+    cross_msgs_ += lp.cross_msgs;
+    lp.cross_msgs = 0;
+  }
+  return global_step_ - base;
+}
+
+void SimRuntime::lp_run(Lp& lp, Step target) {
+  PartitionState& ps = *part_;
+  const PartCtx saved = tl_part_;
+  tl_part_ = PartCtx{this, &lp.clock, &lp};
+  const std::size_t n = config_.n();
+  const double dn = static_cast<double>(n);
+  const std::uint32_t me = lp.index;
+  const std::uint32_t* const part_of = part_of_.data();
+  std::atomic<Step>& my_clock = ps.clocks[me].v;
+  const bool recording = record_footprints_;
+  Step t = lp.clock;
+  while (t < target) {
+    if (t >= ps.stop.load(std::memory_order_acquire)) break;
+    if (lp.injector != nullptr) [[unlikely]]
+      lp.injector->on_step(*this);
+    while (lp.crash_next < lp.crashes.size() &&
+           lp.crashes[lp.crash_next].first <= t) [[unlikely]] {
+      const std::size_t ci = lp.crashes[lp.crash_next].second;
+      ++lp.crash_next;
+      if (runnable(ci)) {
+        proc_state_[ci] = static_cast<std::uint8_t>(ProcState::kCrashed);
+        mark_done_parted(t, true);
+      }
+    }
+    // The replicated global pick: every LP draws the same pid for step t.
+    // Remote or non-runnable picks are no-op steps (time still advances).
+    const double r = lp.sched.uniform01() * dn;
+    std::size_t pick = static_cast<std::size_t>(r);
+    if (pick >= n) pick = n - 1;
+    if (part_of[pick] == me && runnable(pick)) {
+      if (t >= lp.safe_until) wait_horizon(lp, t);
+      drain_handoff(lp);
+      ++metrics_.steps_by_proc[pick];
+      lp.sends_in_slice = 0;
+      if (recording) [[unlikely]]
+        begin_slice(pick, lp.scratch);
+      resume_proc(pick);
+      if (recording) [[unlikely]]
+        end_slice(pick, lp.scratch);
+      if (proc_finished_[pick] != 0) {
+        proc_state_[pick] = static_cast<std::uint8_t>(ProcState::kFinished);
+        mark_done_parted(t, false);
+      }
+    }
+    ++t;
+    lp.clock = t;
+    my_clock.store(t, std::memory_order_release);
+  }
+  lp.clock = t;
+  // Unblock any peer still spinning on our clock: we execute nothing past
+  // this point in the chunk, so publishing the chunk target is sound.
+  my_clock.store(target, std::memory_order_release);
+  tl_part_ = saved;
+}
+
+void SimRuntime::wait_horizon(Lp& lp, Step t) noexcept {
+  const Step lookahead = config_.min_delay;
+  const PartitionState& ps = *part_;
+  Step min_clock = kNever;
+  for (std::uint32_t q = 0; q < nparts_; ++q) {
+    if (q == lp.index) continue;
+    const std::atomic<Step>& c = ps.clocks[q].v;
+    Step cq = c.load(std::memory_order_acquire);
+    std::uint32_t spins = 0;
+    while (cq + lookahead <= t) {
+      if (++spins >= 256) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+      cq = c.load(std::memory_order_acquire);
+    }
+    min_clock = std::min(min_clock, cq);
+  }
+  // Peer clocks only grow, so every step below min observed + lookahead is
+  // safe without rescanning (kNever when K == 1: never scan again).
+  lp.safe_until = min_clock == kNever ? kNever : min_clock + lookahead;
+}
+
+void SimRuntime::drain_handoff(Lp& lp) {
+  PartitionState::Inbox& ib = part_->inbox[lp.index];
+  if (ib.pushed.load(std::memory_order_acquire) == lp.inbox_pulled) return;
+  lp.drain_scratch.clear();
+  {
+    std::lock_guard<std::mutex> lock(ib.mu);
+    lp.drain_scratch.swap(ib.q);
+  }
+  lp.inbox_pulled += lp.drain_scratch.size();
+  // Insertion order is irrelevant: the heap pop order is the strict total
+  // order (deliver_at, seq), both fixed by the sender.
+  for (PartitionState::XMsg& xm : lp.drain_scratch) {
+    auto& pend = pending_[xm.to];
+    pend.push_back(std::move(xm.m));
+    std::push_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+    pending_head_[xm.to] = pend.front().deliver_at;
+  }
+  lp.drain_scratch.clear();
+}
+
+void SimRuntime::mark_done_parted(Step t, bool crash) {
+  PartitionState& ps = *part_;
+  // A finish during step t stops the run after t (t+1 steps executed); a
+  // crash at the step-t boundary stops it at t. CAS-max BEFORE the live
+  // decrement: real-time completion order can invert virtual-step order, so
+  // the unique decrementer-to-zero must publish the max, not its own step.
+  const Step fin = crash ? t : t + 1;
+  Step cur = ps.final_step.load(std::memory_order_relaxed);
+  while (cur < fin &&
+         !ps.final_step.compare_exchange_weak(cur, fin, std::memory_order_relaxed)) {
+  }
+  if (ps.live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    ps.stop.store(ps.final_step.load(std::memory_order_relaxed), std::memory_order_release);
+  }
+}
+
+void SimRuntime::parted_enqueue(Lp& lp, Pid to, Step deliver_at, std::uint64_t seq,
+                                Message m) {
+  const std::size_t d = to.index();
+  if (part_of_[d] == lp.index) {
+    auto& pend = pending_[d];
+    pend.push_back(InFlight{deliver_at, seq, std::move(m)});
+    std::push_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+    pending_head_[d] = pend.front().deliver_at;
+    return;
+  }
+  ++lp.cross_msgs;
+  PartitionState::Inbox& ib = part_->inbox[part_of_[d]];
+  std::lock_guard<std::mutex> lock(ib.mu);
+  ib.q.push_back(PartitionState::XMsg{static_cast<std::uint32_t>(d),
+                                      InFlight{deliver_at, seq, std::move(m)}});
+  ib.pushed.store(ib.pushed.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
+}
+
+RegId SimRuntime::parted_reg(Pid self, RegKey key) {
+  if (key.is_global()) [[unlikely]] {
+    throw ModelViolation{
+        "global-key registers are sequential-only: a shard pinned to one "
+        "partition cannot be accessed by every process"};
+  }
+  const Pid owner = key.owner();
+  MM_ASSERT(owner.index() < config_.n());
+  // Access check BEFORE materialising: a denied probe must not mutate a
+  // foreign partition's shard (that write would race with its owner).
+  if (owner != self && !config_.gsm.has_edge(self, owner)) {
+    throw ModelViolation{to_string(self) + " accessed register owned by " +
+                         to_string(owner) + " outside its shared-memory domain"};
+  }
+  const std::uint32_t shard_idx = part_of_[owner.index()];
+  PartitionState::RegShard& sh = part_->shards[shard_idx];
+  auto it = sh.index.find(key);
+  if (it == sh.index.end()) {
+    const auto local = static_cast<std::uint32_t>(sh.values.size());
+    MM_ASSERT_MSG(local <= PartitionState::kLocalMask, "register shard overflow");
+    sh.values.push_back(0);
+    sh.acl.push_back(owner.value());
+    sh.owner.push_back(owner.value());
+    sh.keys.push_back(key);
+    it = sh.index.emplace(key, local).first;
+  }
+  return RegId{(shard_idx << PartitionState::kShardShift) | it->second};
+}
+
+void SimRuntime::parted_check_access(Pid accessor, RegId r) const {
+  const PartitionState::RegShard& sh =
+      part_->shards[r.value() >> PartitionState::kShardShift];
+  const std::uint32_t acl = sh.acl[r.value() & PartitionState::kLocalMask];
+  if (acl == accessor.value()) return;
+  if (!config_.gsm.has_edge(accessor, Pid{acl})) {
+    throw ModelViolation{to_string(accessor) + " accessed register owned by " +
+                         to_string(Pid{acl}) + " outside its shared-memory domain"};
+  }
+}
+
+void SimRuntime::parted_check_memory_alive(RegId r, Step now_step) const {
+  if (!mem_faults_armed_) return;
+  const PartitionState::RegShard& sh =
+      part_->shards[r.value() >> PartitionState::kShardShift];
+  const std::uint32_t owner = sh.owner[r.value() & PartitionState::kLocalMask];
+  const MemWindow& w = mem_window_[owner];
+  if (w.fail_at <= now_step && now_step < w.recover_at) {
+    throw MemoryFailure{"memory hosted at " + to_string(Pid{owner}) + " has failed"};
+  }
+}
+
+void SimRuntime::set_partition_fault_injectors(
+    const std::vector<FaultInjector*>& injectors) {
+  MM_ASSERT_MSG(partitioned_,
+                "set_partition_fault_injectors requires partitioned mode");
+  start();
+  if (injectors.empty()) {
+    for (Lp& lp : part_->lps) lp.injector = nullptr;
+    return;
+  }
+  MM_ASSERT_MSG(injectors.size() == nparts_,
+                "need exactly one injector replica per partition");
+  for (std::uint32_t q = 0; q < nparts_; ++q) part_->lps[q].injector = injectors[q];
+  // Replicas may open memory-failure windows from LP context, where writing
+  // the shared armed flag would race — arm it once here instead.
+  mem_faults_armed_ = true;
+}
+
+}  // namespace mm::runtime

@@ -1,9 +1,11 @@
 #include "runtime/sim_runtime.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "runtime/sim_partition_detail.hpp"
 
 namespace mm::runtime {
 
@@ -44,41 +46,67 @@ constexpr std::uint64_t kSliceSigSeed = 0x2545f4914f6cdd1dULL;
 
 std::size_t SimEnv::n() const { return rt_->config().n(); }
 void SimEnv::send(Pid to, Message m) {
-  if (rt_->record_footprints_) [[unlikely]] {
-    rt_->env_send<true>(self_, to, std::move(m));
+  if (rt_->partitioned_) [[unlikely]] {
+    if (rt_->record_footprints_) rt_->env_send<true, true>(self_, to, std::move(m));
+    else rt_->env_send<false, true>(self_, to, std::move(m));
+  } else if (rt_->record_footprints_) [[unlikely]] {
+    rt_->env_send<true, false>(self_, to, std::move(m));
   } else {
-    rt_->env_send<false>(self_, to, std::move(m));
+    rt_->env_send<false, false>(self_, to, std::move(m));
   }
 }
 void SimEnv::drain_inbox(std::vector<Message>& out) {
-  if (rt_->record_footprints_) [[unlikely]] {
-    rt_->env_drain<true>(self_, out);
+  if (rt_->partitioned_) [[unlikely]] {
+    if (rt_->record_footprints_) rt_->env_drain<true, true>(self_, out);
+    else rt_->env_drain<false, true>(self_, out);
+  } else if (rt_->record_footprints_) [[unlikely]] {
+    rt_->env_drain<true, false>(self_, out);
   } else {
-    rt_->env_drain<false>(self_, out);
+    rt_->env_drain<false, false>(self_, out);
   }
 }
-RegId SimEnv::reg(RegKey key) { return rt_->env_reg(self_, key); }
+RegId SimEnv::reg(RegKey key) {
+  if (rt_->partitioned_) [[unlikely]]
+    return rt_->parted_reg(self_, key);
+  return rt_->env_reg(self_, key);
+}
 std::uint64_t SimEnv::read(RegId r) {
-  return rt_->record_footprints_ ? rt_->env_read<true>(self_, r)
-                                 : rt_->env_read<false>(self_, r);
+  if (rt_->partitioned_) [[unlikely]]
+    return rt_->record_footprints_ ? rt_->env_read<true, true>(self_, r)
+                                   : rt_->env_read<false, true>(self_, r);
+  return rt_->record_footprints_ ? rt_->env_read<true, false>(self_, r)
+                                 : rt_->env_read<false, false>(self_, r);
 }
 void SimEnv::write(RegId r, std::uint64_t v) {
-  if (rt_->record_footprints_) [[unlikely]] {
-    rt_->env_write<true>(self_, r, v);
+  if (rt_->partitioned_) [[unlikely]] {
+    if (rt_->record_footprints_) rt_->env_write<true, true>(self_, r, v);
+    else rt_->env_write<false, true>(self_, r, v);
+  } else if (rt_->record_footprints_) [[unlikely]] {
+    rt_->env_write<true, false>(self_, r, v);
   } else {
-    rt_->env_write<false>(self_, r, v);
+    rt_->env_write<false, false>(self_, r, v);
   }
 }
 std::uint64_t SimEnv::cas(RegId r, std::uint64_t expected, std::uint64_t desired) {
-  return rt_->record_footprints_ ? rt_->env_cas<true>(self_, r, expected, desired)
-                                 : rt_->env_cas<false>(self_, r, expected, desired);
+  if (rt_->partitioned_) [[unlikely]]
+    return rt_->record_footprints_ ? rt_->env_cas<true, true>(self_, r, expected, desired)
+                                   : rt_->env_cas<false, true>(self_, r, expected, desired);
+  return rt_->record_footprints_ ? rt_->env_cas<true, false>(self_, r, expected, desired)
+                                 : rt_->env_cas<false, false>(self_, r, expected, desired);
 }
 bool SimEnv::coin() {
-  return rt_->record_footprints_ ? rt_->env_coin<true>(self_) : rt_->env_coin<false>(self_);
+  if (rt_->partitioned_) [[unlikely]]
+    return rt_->record_footprints_ ? rt_->env_coin<true, true>(self_)
+                                   : rt_->env_coin<false, true>(self_);
+  return rt_->record_footprints_ ? rt_->env_coin<true, false>(self_)
+                                 : rt_->env_coin<false, false>(self_);
 }
 std::uint64_t SimEnv::rand_below(std::uint64_t bound) {
-  return rt_->record_footprints_ ? rt_->env_rand_below<true>(self_, bound)
-                                 : rt_->env_rand_below<false>(self_, bound);
+  if (rt_->partitioned_) [[unlikely]]
+    return rt_->record_footprints_ ? rt_->env_rand_below<true, true>(self_, bound)
+                                   : rt_->env_rand_below<false, true>(self_, bound);
+  return rt_->record_footprints_ ? rt_->env_rand_below<true, false>(self_, bound)
+                                 : rt_->env_rand_below<false, false>(self_, bound);
 }
 void SimEnv::step() {
   if (fiber_ != nullptr) {
@@ -89,9 +117,15 @@ void SimEnv::step() {
   rt_->env_step(self_);
 }
 Step SimEnv::now() const {
-  return rt_->record_footprints_ ? rt_->env_now<true>(self_) : rt_->env_now<false>(self_);
+  if (rt_->partitioned_) [[unlikely]]
+    return rt_->record_footprints_ ? rt_->env_now<true, true>(self_)
+                                   : rt_->env_now<false, true>(self_);
+  return rt_->record_footprints_ ? rt_->env_now<true, false>(self_)
+                                 : rt_->env_now<false, false>(self_);
 }
-bool SimEnv::stop_requested() const { return rt_->stop_requested_; }
+bool SimEnv::stop_requested() const {
+  return rt_->stop_requested_.load(std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // Construction / teardown
@@ -125,6 +159,7 @@ SimRuntime::SimRuntime(SimConfig config)
       mem_window_[i].recover_at = *config_.memory_recover_at[i];
     mem_faults_armed_ = true;
   }
+  init_partitions();
 }
 
 SimRuntime::~SimRuntime() { shutdown(); }
@@ -191,6 +226,7 @@ void SimRuntime::start() {
     pr.env->fiber_ = fiber_[i];
     pr.env->kill_flag_ = proc_kill_.data() + i;
   }
+  if (partitioned_) start_partitioned();
 }
 
 void SimRuntime::shutdown() {
@@ -232,6 +268,17 @@ void SimRuntime::apply_crash_plan() {
 
 void SimRuntime::crash_now(Pid p) {
   MM_ASSERT(p.index() < procs_.size());
+  if (partitioned_) [[unlikely]] {
+    // From LP context (an injector replica), only p's owner applies the
+    // crash — every other replica reaches the same call on its own timeline
+    // and drops it here, so the crash lands exactly once, at the owner's
+    // local step. Driver-context calls between chunks apply directly.
+    if (tl_part_.rt == this && lp_by_pid_[p.index()] != tl_part_.lp) return;
+    if (!runnable(p.index())) return;
+    proc_state_[p.index()] = static_cast<std::uint8_t>(ProcState::kCrashed);
+    mark_done_parted(now(), true);
+    return;
+  }
   if (runnable(p.index())) {
     proc_state_[p.index()] = static_cast<std::uint8_t>(ProcState::kCrashed);
     remove_runnable(p.index());
@@ -245,6 +292,20 @@ void SimRuntime::crash_now(Pid p) {
 
 void SimRuntime::fail_memory_now(Pid host, std::optional<Step> recover_at) {
   MM_ASSERT(host.index() < config_.n());
+  if (partitioned_ && tl_part_.rt == this) [[unlikely]] {
+    // LP context: only the host's owner LP opens the window, on its local
+    // clock. The shared armed flag is NOT written here — LP threads must
+    // never touch it; set_partition_fault_injectors armed it up front.
+    if (lp_by_pid_[host.index()] != tl_part_.lp) return;
+    MM_ASSERT_MSG(mem_faults_armed_,
+                  "partition-context memory faults require injector replicas "
+                  "(set_partition_fault_injectors arms the fault gate)");
+    const Step local_now = *tl_part_.clock;
+    MM_ASSERT_MSG(!recover_at.has_value() || *recover_at > local_now,
+                  "memory recovery must lie in the future");
+    mem_window_[host.index()] = MemWindow{local_now, recover_at.value_or(kNever)};
+    return;
+  }
   MM_ASSERT_MSG(!recover_at.has_value() || *recover_at > global_step_,
                 "memory recovery must lie in the future");
   mem_window_[host.index()] = MemWindow{global_step_, recover_at.value_or(kNever)};
@@ -255,6 +316,12 @@ void SimRuntime::fail_memory_now(Pid host, std::optional<Step> recover_at) {
 void SimRuntime::recover_memory_now(Pid host) {
   MM_ASSERT(host.index() < config_.n());
   MemWindow& w = mem_window_[host.index()];
+  if (partitioned_ && tl_part_.rt == this) [[unlikely]] {
+    if (lp_by_pid_[host.index()] != tl_part_.lp) return;
+    const Step local_now = *tl_part_.clock;
+    if (w.fail_at <= local_now && local_now < w.recover_at) w.recover_at = local_now;
+    return;
+  }
   if (w.fail_at <= global_step_ && global_step_ < w.recover_at) {
     w.recover_at = global_step_;
     trace_event(host, TraceEvent::Kind::kMemRecover);
@@ -262,15 +329,33 @@ void SimRuntime::recover_memory_now(Pid host) {
 }
 
 void SimRuntime::set_partition_now(std::uint64_t side_a, Step until) {
+  MM_ASSERT_MSG(!partitioned_,
+                "partition windows are sequential-only (they hold messages on the "
+                "single global clock); use a kLinkBurst rule in partitioned mode");
   MM_ASSERT_MSG(config_.n() <= 64, "partition masks require n <= 64");
   config_.partition = Partition{side_a, global_step_, until};
 }
 
 void SimRuntime::clear_partition_now() { config_.partition.reset(); }
 
-void SimRuntime::begin_link_burst(const LinkBurst& burst) { burst_ = burst; }
+void SimRuntime::begin_link_burst(const LinkBurst& burst) {
+  if (partitioned_) [[unlikely]] {
+    if (tl_part_.rt == this) {
+      // Each injector replica arms its own LP's window at its own local
+      // step — together they reproduce the sequential burst exactly.
+      tl_part_.lp->burst = burst;
+    } else {
+      burst_ = burst;
+      for (Lp& lp : part_->lps) lp.burst = burst;
+    }
+    return;
+  }
+  burst_ = burst;
+}
 
 void SimRuntime::enable_trace(std::size_t capacity) {
+  MM_ASSERT_MSG(!partitioned_,
+                "tracing is sequential-only (the ring is a single global order)");
   trace_capacity_ = capacity;
   trace_buf_.clear();
   trace_buf_.shrink_to_fit();
@@ -327,10 +412,10 @@ void SimRuntime::activate(std::size_t pick) {
   ++metrics_.steps_by_proc[pick];
   trace_event(Pid{static_cast<std::uint32_t>(pick)}, TraceEvent::Kind::kSchedule);
   if (record_footprints_) [[unlikely]]
-    begin_slice(pick);
+    begin_slice(pick, scratch_);
   resume_proc(pick);
   if (record_footprints_) [[unlikely]]
-    end_slice(pick);
+    end_slice(pick, scratch_);
   if (proc_finished_[pick] != 0) {
     proc_state_[pick] = static_cast<std::uint8_t>(ProcState::kFinished);
     remove_runnable(pick);
@@ -351,36 +436,37 @@ void SimRuntime::set_footprint_recording(bool on) {
   }
 }
 
-void SimRuntime::obs_note(Pid self, std::uint64_t tag, std::uint64_t value) {
+void SimRuntime::obs_note(Pid self, std::uint64_t tag, std::uint64_t value,
+                          std::uint64_t& sig) {
   const std::uint64_t v = mix64(tag ^ mix64(value));
   std::uint64_t& h = obs_hash_[self.index()];
   h = mix64(h ^ v);
-  slice_sig_ = mix64(slice_sig_ ^ v);
+  sig = mix64(sig ^ v);
 }
 
-void SimRuntime::begin_slice(std::size_t pick) {
-  footprint_.clear(Pid{static_cast<std::uint32_t>(pick)});
-  slice_pre_obs_ = obs_hash_[pick];
-  slice_sig_ = kSliceSigSeed;
-  slice_got_messages_ = false;
+void SimRuntime::begin_slice(std::size_t pick, SliceScratch& sc) {
+  sc.footprint.clear(Pid{static_cast<std::uint32_t>(pick)});
+  sc.pre_obs = obs_hash_[pick];
+  sc.sig = kSliceSigSeed;
+  sc.got_messages = false;
 }
 
-void SimRuntime::end_slice(std::size_t pick) {
+void SimRuntime::end_slice(std::size_t pick, SliceScratch& sc) {
   // Effect-free: nothing another process (or the oracle) could ever see —
   // no writes, no sends, no randomness consumed, no clock read, and any
   // drain came back empty. Metrics counters still tick, which is why
   // step/read-count metrics are not merge-stable oracles (docs/RUNTIME.md).
-  const bool effect_free = footprint_.writes.empty() && footprint_.send_to.empty() &&
-                           !footprint_.drew_rand && !footprint_.observed_clock &&
-                           !slice_got_messages_;
-  const std::uint64_t sig = slice_sig_;
+  const bool effect_free = sc.footprint.writes.empty() && sc.footprint.send_to.empty() &&
+                           !sc.footprint.drew_rand && !sc.footprint.observed_clock &&
+                           !sc.got_messages;
+  const std::uint64_t sig = sc.sig;
   if (idle_collapse_ && effect_free && last_idle_valid_[pick] != 0 &&
       last_idle_sig_[pick] == sig) {
     // A spin iteration identical to the previous one: roll the observation
     // hash back so the state maps to the same point and the explorer's
     // state cache recognises the cycle. last_idle_* stay armed, so every
     // further identical iteration collapses too.
-    obs_hash_[pick] = slice_pre_obs_;
+    obs_hash_[pick] = sc.pre_obs;
     return;
   }
   // Default: every slice advances the observation hash (slices folded with
@@ -408,12 +494,9 @@ StateHash SimRuntime::state_hash() const {
   // Registers in key order, zero-valued entries skipped: a register holding
   // 0 is indistinguishable from one never materialised (env_reg creates
   // storage holding 0), so including them would split states by RegId
-  // creation order — a difference no process can observe.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> regs;
-  regs.reserve(reg_values_.size());
-  for (std::size_t i = 0; i < reg_values_.size(); ++i)
-    if (reg_values_[i] != 0) regs.emplace_back(reg_keys_[i].bits(), reg_values_[i]);
-  std::sort(regs.begin(), regs.end());
+  // creation order — a difference no process can observe. register_dump()
+  // is the mode-independent view (partitioned shards fold identically).
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> regs = register_dump();
   fold(regs.size());
   for (const auto& [k, v] : regs) {
     fold(k);
@@ -581,6 +664,8 @@ Step SimRuntime::run_fast(Step k) {
 Step SimRuntime::run_steps(Step k) {
   start();
   MM_ASSERT_MSG(!shut_down_, "runtime already shut down");
+  if (partitioned_) [[unlikely]]
+    return run_partitioned(k);
   if (fast_path_eligible()) return run_fast(k);
   Step done = 0;
   while (done < k && step_once()) ++done;
@@ -589,6 +674,10 @@ Step SimRuntime::run_steps(Step k) {
 
 bool SimRuntime::run_until_all_done(Step budget) {
   start();
+  if (partitioned_) [[unlikely]] {
+    if (budget > global_step_) run_partitioned(budget - global_step_);
+    return all_done();
+  }
   if (fast_path_eligible()) {
     if (budget > global_step_) run_fast(budget - global_step_);
     return all_done();
@@ -619,6 +708,34 @@ bool SimRuntime::all_done() const {
 void SimRuntime::rethrow_process_error() const {
   for (const Proc& pr : procs_)
     if (pr.error) std::rethrow_exception(pr.error);
+}
+
+std::optional<std::uint64_t> SimRuntime::register_value(RegKey key) const {
+  if (partitioned_) {
+    if (key.is_global()) return std::nullopt;  // unmaterialisable in this mode
+    const auto& sh = part_->shards[part_of_[key.owner().index()]];
+    const auto it = sh.index.find(key);
+    if (it == sh.index.end()) return std::nullopt;
+    return sh.values[it->second];
+  }
+  const auto it = reg_index_.find(key);
+  if (it == reg_index_.end()) return std::nullopt;
+  return reg_values_[it->second];
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> SimRuntime::register_dump() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  if (partitioned_) {
+    for (const PartitionState::RegShard& sh : part_->shards)
+      for (std::size_t i = 0; i < sh.values.size(); ++i)
+        if (sh.values[i] != 0) out.emplace_back(sh.keys[i].bits(), sh.values[i]);
+  } else {
+    out.reserve(reg_values_.size());
+    for (std::size_t i = 0; i < reg_values_.size(); ++i)
+      if (reg_values_[i] != 0) out.emplace_back(reg_keys_[i].bits(), reg_values_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -658,59 +775,110 @@ void SimRuntime::enqueue_message(Pid to, Step deliver_at, Message m) {
   pending_head_[to.index()] = pend.front().deliver_at;
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 void SimRuntime::env_send(Pid from, Pid to, Message m) {
   MM_ASSERT(to.index() < config_.n());
-  if (injector_ != nullptr) [[unlikely]]
-    injector_->on_send(*this, from, to);
-  if constexpr (Recording) footprint_.add_send(to);
-  ++metrics_.msgs_sent;
-  ++metrics_.sends_by_proc[from.index()];
-  if (config_.link_type == LinkType::kFairLossy && link_rng_.bernoulli(config_.drop_prob)) {
-    ++metrics_.msgs_dropped;
-    trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
+  if constexpr (Parted) {
+    Lp& lp = *lp_by_pid_[from.index()];
+    if (lp.injector != nullptr) [[unlikely]] {
+      // The hook may fire actuators and read now(); under the thread backend
+      // this call runs on the process's own thread, so bind the LP context
+      // here (under the fiber backend this rebinds the same values).
+      const PartCtx saved = tl_part_;
+      tl_part_ = PartCtx{this, &lp.clock, &lp};
+      lp.injector->on_send(*this, from, to);
+      tl_part_ = saved;
+    }
+    if constexpr (Recording) lp.scratch.footprint.add_send(to);
+    ++lp.scalars.msgs_sent;
+    ++metrics_.sends_by_proc[from.index()];
+    // Per-sender streams (a global stream's draw order would depend on the
+    // LP interleaving); the burst window lives on the sender's local clock.
+    Rng& lrng = part_->link_rng_of[from.index()];
+    if (config_.link_type == LinkType::kFairLossy && lrng.bernoulli(config_.drop_prob)) {
+      ++lp.scalars.msgs_dropped;
+      return;
+    }
+    Rng& frng = part_->fault_rng_of[from.index()];
+    const bool burst = lp.clock < lp.burst.until;
+    if (burst && frng.bernoulli(lp.burst.drop_prob)) {
+      ++lp.scalars.msgs_dropped;
+      return;
+    }
+    m.from = from;
+    Step deliver_at = lp.clock + lrng.between(config_.min_delay, config_.max_delay);
+    if (burst && lp.burst.extra_delay_max > 0)
+      deliver_at += frng.between(0, lp.burst.extra_delay_max);
+    // Sender-assigned tie-break seq: globally unique because exactly one
+    // process executes per virtual step ((step << 16) | slice send index).
+    if (burst && frng.bernoulli(lp.burst.dup_prob)) {
+      Step dup_at = lp.clock + frng.between(config_.min_delay, config_.max_delay);
+      if (lp.burst.extra_delay_max > 0) dup_at += frng.between(0, lp.burst.extra_delay_max);
+      parted_enqueue(lp, to, dup_at, (lp.clock << 16) | lp.sends_in_slice++, m);
+    }
+    parted_enqueue(lp, to, deliver_at, (lp.clock << 16) | lp.sends_in_slice++,
+                   std::move(m));
     return;
+  } else {
+    if (injector_ != nullptr) [[unlikely]]
+      injector_->on_send(*this, from, to);
+    if constexpr (Recording) scratch_.footprint.add_send(to);
+    ++metrics_.msgs_sent;
+    ++metrics_.sends_by_proc[from.index()];
+    if (config_.link_type == LinkType::kFairLossy && link_rng_.bernoulli(config_.drop_prob)) {
+      ++metrics_.msgs_dropped;
+      trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
+      return;
+    }
+    // Injected burst hostility (drops / delay spikes / duplicates) draws from
+    // the dedicated fault stream; outside a burst window this block is free
+    // and burst-free runs stay bit-identical.
+    const bool burst = global_step_ < burst_.until;
+    if (burst && fault_rng_.bernoulli(burst_.drop_prob)) {
+      ++metrics_.msgs_dropped;
+      trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
+      return;
+    }
+    trace_event(from, TraceEvent::Kind::kSend, to.value(), m.kind);
+    m.from = from;
+    Step deliver_at = global_step_ + link_rng_.between(config_.min_delay, config_.max_delay);
+    if (burst && burst_.extra_delay_max > 0)
+      deliver_at += fault_rng_.between(0, burst_.extra_delay_max);
+    deliver_at = partition_hold(from, to, deliver_at, link_rng_);
+    if (burst && fault_rng_.bernoulli(burst_.dup_prob)) {
+      // Link-level duplication: the copy travels independently (own delay,
+      // own partition hold) and is not counted as a send by `from`.
+      Step dup_at = global_step_ + fault_rng_.between(config_.min_delay, config_.max_delay);
+      if (burst_.extra_delay_max > 0) dup_at += fault_rng_.between(0, burst_.extra_delay_max);
+      dup_at = partition_hold(from, to, dup_at, fault_rng_);
+      enqueue_message(to, dup_at, m);
+    }
+    enqueue_message(to, deliver_at, std::move(m));
   }
-  // Injected burst hostility (drops / delay spikes / duplicates) draws from
-  // the dedicated fault stream; outside a burst window this block is free
-  // and burst-free runs stay bit-identical.
-  const bool burst = global_step_ < burst_.until;
-  if (burst && fault_rng_.bernoulli(burst_.drop_prob)) {
-    ++metrics_.msgs_dropped;
-    trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
-    return;
-  }
-  trace_event(from, TraceEvent::Kind::kSend, to.value(), m.kind);
-  m.from = from;
-  Step deliver_at = global_step_ + link_rng_.between(config_.min_delay, config_.max_delay);
-  if (burst && burst_.extra_delay_max > 0)
-    deliver_at += fault_rng_.between(0, burst_.extra_delay_max);
-  deliver_at = partition_hold(from, to, deliver_at, link_rng_);
-  if (burst && fault_rng_.bernoulli(burst_.dup_prob)) {
-    // Link-level duplication: the copy travels independently (own delay,
-    // own partition hold) and is not counted as a send by `from`.
-    Step dup_at = global_step_ + fault_rng_.between(config_.min_delay, config_.max_delay);
-    if (burst_.extra_delay_max > 0) dup_at += fault_rng_.between(0, burst_.extra_delay_max);
-    dup_at = partition_hold(from, to, dup_at, fault_rng_);
-    enqueue_message(to, dup_at, m);
-  }
-  enqueue_message(to, deliver_at, std::move(m));
 }
 
-void SimRuntime::drain_pending(Pid to, std::vector<Message>& out) {
+template <bool Parted>
+void SimRuntime::drain_pending(Pid to, Step now_step, std::vector<Message>& out) {
   auto& pend = pending_[to.index()];
-  while (!pend.empty() && pend.front().deliver_at <= global_step_) {
+  std::uint64_t delivered = 0;
+  while (!pend.empty() && pend.front().deliver_at <= now_step) {
     std::pop_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
     InFlight f = std::move(pend.back());
     pend.pop_back();
-    trace_event(f.msg.from, TraceEvent::Kind::kDeliver, to.value(), f.msg.kind);
+    if constexpr (!Parted)
+      trace_event(f.msg.from, TraceEvent::Kind::kDeliver, to.value(), f.msg.kind);
     out.push_back(std::move(f.msg));
-    ++metrics_.msgs_delivered;
+    ++delivered;
   }
   pending_head_[to.index()] = pend.empty() ? kNever : pend.front().deliver_at;
+  if constexpr (Parted) {
+    lp_by_pid_[to.index()]->scalars.msgs_delivered += delivered;
+  } else {
+    metrics_.msgs_delivered += delivered;
+  }
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 void SimRuntime::env_drain(Pid self, std::vector<Message>& out) {
   // Pop eligible messages straight from the heap into the caller's buffer —
   // delivery order is (deliver_at, seq), exactly the heap's pop order, so no
@@ -718,22 +886,24 @@ void SimRuntime::env_drain(Pid self, std::vector<Message>& out) {
   // the steady-state drain allocates nothing, and when nothing is due the
   // cached pending_head_ skips the heap entirely.
   out.clear();
-  if (pending_head_[self.index()] <= global_step_) drain_pending(self, out);
+  const Step now_step = Parted ? lp_by_pid_[self.index()]->clock : global_step_;
+  if (pending_head_[self.index()] <= now_step) drain_pending<Parted>(self, now_step, out);
   if constexpr (Recording) {
+    SliceScratch& sc = Parted ? lp_by_pid_[self.index()]->scratch : scratch_;
     // Even an empty drain is a channel touch: it would have observed any
     // message sent before it, so it must order against sends to `self`.
-    footprint_.drained = true;
-    if (!out.empty()) slice_got_messages_ = true;
-    obs_note(self, kObsDrain, out.size());
+    sc.footprint.drained = true;
+    if (!out.empty()) sc.got_messages = true;
+    obs_note(self, kObsDrain, out.size(), sc.sig);
     for (const Message& m : out) {
-      obs_note(self, kObsMsg, m.from.value());
-      obs_note(self, kObsMsg, (static_cast<std::uint64_t>(m.kind) << 32) ^ m.round);
-      obs_note(self, kObsMsg, m.value);
-      obs_note(self, kObsMsg, m.aux);
-      obs_note(self, kObsMsg, m.tuples.size());
+      obs_note(self, kObsMsg, m.from.value(), sc.sig);
+      obs_note(self, kObsMsg, (static_cast<std::uint64_t>(m.kind) << 32) ^ m.round, sc.sig);
+      obs_note(self, kObsMsg, m.value, sc.sig);
+      obs_note(self, kObsMsg, m.aux, sc.sig);
+      obs_note(self, kObsMsg, m.tuples.size(), sc.sig);
       for (const RepTuple& t : m.tuples) {
-        obs_note(self, kObsMsg, t.pid.value());
-        obs_note(self, kObsMsg, t.value);
+        obs_note(self, kObsMsg, t.pid.value(), sc.sig);
+        obs_note(self, kObsMsg, t.value, sc.sig);
       }
     }
   }
@@ -779,101 +949,175 @@ void SimRuntime::check_register_access(Pid accessor, RegId r) const {
   }
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 std::uint64_t SimRuntime::env_read(Pid self, RegId r) {
   maybe_auto_step(self);
-  check_register_access(self, r);
-  check_memory_alive(r);
-  ++metrics_.reg_reads;
-  ++metrics_.reads_by_proc[self.index()];
-  if (reg_owner_[r.index()] == self.value()) {
-    ++metrics_.reg_reads_local;
+  if constexpr (Parted) {
+    Lp& lp = *lp_by_pid_[self.index()];
+    parted_check_access(self, r);
+    parted_check_memory_alive(r, lp.clock);
+    PartitionState::RegShard& sh =
+        part_->shards[r.value() >> PartitionState::kShardShift];
+    const std::size_t li = r.value() & PartitionState::kLocalMask;
+    ++lp.scalars.reg_reads;
+    ++metrics_.reads_by_proc[self.index()];
+    if (sh.owner[li] == self.value()) {
+      ++lp.scalars.reg_reads_local;
+    } else {
+      ++metrics_.remote_reads_by_proc[self.index()];
+    }
+    if constexpr (Recording) {
+      lp.scratch.footprint.add_read(sh.keys[li]);
+      obs_note(self, kObsRead, sh.values[li], lp.scratch.sig);
+    }
+    return sh.values[li];
   } else {
-    ++metrics_.remote_reads_by_proc[self.index()];
+    check_register_access(self, r);
+    check_memory_alive(r);
+    ++metrics_.reg_reads;
+    ++metrics_.reads_by_proc[self.index()];
+    if (reg_owner_[r.index()] == self.value()) {
+      ++metrics_.reg_reads_local;
+    } else {
+      ++metrics_.remote_reads_by_proc[self.index()];
+    }
+    trace_event(self, TraceEvent::Kind::kRegRead, r.value(), reg_values_[r.index()]);
+    if constexpr (Recording) {
+      scratch_.footprint.add_read(reg_keys_[r.index()]);
+      obs_note(self, kObsRead, reg_values_[r.index()], scratch_.sig);
+    }
+    return reg_values_[r.index()];
   }
-  trace_event(self, TraceEvent::Kind::kRegRead, r.value(), reg_values_[r.index()]);
-  if constexpr (Recording) {
-    footprint_.add_read(reg_keys_[r.index()]);
-    obs_note(self, kObsRead, reg_values_[r.index()]);
-  }
-  return reg_values_[r.index()];
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
   maybe_auto_step(self);
-  if (injector_ != nullptr) [[unlikely]]
-    injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
-  check_register_access(self, r);
-  check_memory_alive(r);
-  ++metrics_.reg_writes;
-  ++metrics_.writes_by_proc[self.index()];
-  if (reg_owner_[r.index()] == self.value()) {
-    ++metrics_.reg_writes_local;
+  if constexpr (Parted) {
+    Lp& lp = *lp_by_pid_[self.index()];
+    PartitionState::RegShard& sh =
+        part_->shards[r.value() >> PartitionState::kShardShift];
+    const std::size_t li = r.value() & PartitionState::kLocalMask;
+    if (lp.injector != nullptr) [[unlikely]] {
+      const PartCtx saved = tl_part_;
+      tl_part_ = PartCtx{this, &lp.clock, &lp};
+      lp.injector->on_reg_write(*this, self, sh.keys[li]);
+      tl_part_ = saved;
+    }
+    parted_check_access(self, r);
+    parted_check_memory_alive(r, lp.clock);
+    ++lp.scalars.reg_writes;
+    ++metrics_.writes_by_proc[self.index()];
+    if (sh.owner[li] == self.value()) {
+      ++lp.scalars.reg_writes_local;
+    } else {
+      ++metrics_.remote_writes_by_proc[self.index()];
+    }
+    if constexpr (Recording) lp.scratch.footprint.add_write(sh.keys[li]);
+    sh.values[li] = v;
+    return;
   } else {
-    ++metrics_.remote_writes_by_proc[self.index()];
+    if (injector_ != nullptr) [[unlikely]]
+      injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
+    check_register_access(self, r);
+    check_memory_alive(r);
+    ++metrics_.reg_writes;
+    ++metrics_.writes_by_proc[self.index()];
+    if (reg_owner_[r.index()] == self.value()) {
+      ++metrics_.reg_writes_local;
+    } else {
+      ++metrics_.remote_writes_by_proc[self.index()];
+    }
+    trace_event(self, TraceEvent::Kind::kRegWrite, r.value(), v);
+    if constexpr (Recording) scratch_.footprint.add_write(reg_keys_[r.index()]);
+    reg_values_[r.index()] = v;
   }
-  trace_event(self, TraceEvent::Kind::kRegWrite, r.value(), v);
-  if constexpr (Recording) footprint_.add_write(reg_keys_[r.index()]);
-  reg_values_[r.index()] = v;
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
                                   std::uint64_t desired) {
   maybe_auto_step(self);
   // A CAS is a write-class mutation: fault rules keyed on register writes
   // (kOnFirstWrite / kOnRoundEntry) must see CAS-based object protocols too.
-  if (injector_ != nullptr) [[unlikely]]
-    injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
-  check_register_access(self, r);
-  check_memory_alive(r);
-  ++metrics_.reg_cas_ops;
-  trace_event(self, TraceEvent::Kind::kRegCas, r.value(), reg_values_[r.index()]);
-  const std::uint64_t old = reg_values_[r.index()];
-  if constexpr (Recording) {
-    // A CAS both observes and (potentially) mutates: read+write footprint,
-    // with the observed old value as the observation. Whether the swap hit
-    // is a deterministic function of (old, expected), so old alone suffices.
-    footprint_.add_read(reg_keys_[r.index()]);
-    footprint_.add_write(reg_keys_[r.index()]);
-    obs_note(self, kObsCas, old);
+  if constexpr (Parted) {
+    Lp& lp = *lp_by_pid_[self.index()];
+    PartitionState::RegShard& sh =
+        part_->shards[r.value() >> PartitionState::kShardShift];
+    const std::size_t li = r.value() & PartitionState::kLocalMask;
+    if (lp.injector != nullptr) [[unlikely]] {
+      const PartCtx saved = tl_part_;
+      tl_part_ = PartCtx{this, &lp.clock, &lp};
+      lp.injector->on_reg_write(*this, self, sh.keys[li]);
+      tl_part_ = saved;
+    }
+    parted_check_access(self, r);
+    parted_check_memory_alive(r, lp.clock);
+    ++lp.scalars.reg_cas_ops;
+    const std::uint64_t old = sh.values[li];
+    if constexpr (Recording) {
+      lp.scratch.footprint.add_read(sh.keys[li]);
+      lp.scratch.footprint.add_write(sh.keys[li]);
+      obs_note(self, kObsCas, old, lp.scratch.sig);
+    }
+    if (old == expected) sh.values[li] = desired;
+    return old;
+  } else {
+    if (injector_ != nullptr) [[unlikely]]
+      injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
+    check_register_access(self, r);
+    check_memory_alive(r);
+    ++metrics_.reg_cas_ops;
+    trace_event(self, TraceEvent::Kind::kRegCas, r.value(), reg_values_[r.index()]);
+    const std::uint64_t old = reg_values_[r.index()];
+    if constexpr (Recording) {
+      // A CAS both observes and (potentially) mutates: read+write footprint,
+      // with the observed old value as the observation. Whether the swap hit
+      // is a deterministic function of (old, expected), so old alone suffices.
+      scratch_.footprint.add_read(reg_keys_[r.index()]);
+      scratch_.footprint.add_write(reg_keys_[r.index()]);
+      obs_note(self, kObsCas, old, scratch_.sig);
+    }
+    if (old == expected) reg_values_[r.index()] = desired;
+    return old;
   }
-  if (old == expected) reg_values_[r.index()] = desired;
-  return old;
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 bool SimRuntime::env_coin(Pid self) {
   const bool v = proc_rng_[self.index()].coin();
   if constexpr (Recording) {
-    footprint_.drew_rand = true;
-    obs_note(self, kObsCoin, v ? 1 : 0);
+    SliceScratch& sc = Parted ? lp_by_pid_[self.index()]->scratch : scratch_;
+    sc.footprint.drew_rand = true;
+    obs_note(self, kObsCoin, v ? 1 : 0, sc.sig);
   }
   return v;
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 std::uint64_t SimRuntime::env_rand_below(Pid self, std::uint64_t bound) {
   const std::uint64_t v = proc_rng_[self.index()].below(bound);
   if constexpr (Recording) {
-    footprint_.drew_rand = true;
-    obs_note(self, kObsRand, v);
+    SliceScratch& sc = Parted ? lp_by_pid_[self.index()]->scratch : scratch_;
+    sc.footprint.drew_rand = true;
+    obs_note(self, kObsRand, v, sc.sig);
   }
   return v;
 }
 
-template <bool Recording>
+template <bool Recording, bool Parted>
 Step SimRuntime::env_now(Pid self) {
+  const Step now_step = Parted ? lp_by_pid_[self.index()]->clock : global_step_;
   if constexpr (Recording) {
+    SliceScratch& sc = Parted ? lp_by_pid_[self.index()]->scratch : scratch_;
     // Reading the clock makes the step depend on *every* other step (time
     // advances with each), so it is recorded as a global conflict.
-    footprint_.observed_clock = true;
-    obs_note(self, kObsNow, global_step_);
+    sc.footprint.observed_clock = true;
+    obs_note(self, kObsNow, now_step, sc.sig);
   } else {
     (void)self;
   }
-  return global_step_;
+  return now_step;
 }
 
 }  // namespace mm::runtime

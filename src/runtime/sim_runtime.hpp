@@ -24,12 +24,14 @@
 // SimEnv below), so the no-checker code path contains none of it.
 #pragma once
 
+#include <atomic>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -113,8 +115,11 @@ class SimRuntime {
 
   /// Crash p at the next scheduling decision (dynamic injection).
   void crash_now(Pid p);
-  /// Cooperative stop flag, visible through Env::stop_requested().
-  void request_stop() { stop_requested_ = true; }
+  /// Cooperative stop flag, visible through Env::stop_requested(). In
+  /// partitioned mode a set from inside a process body reaches other
+  /// partitions at a racy real time — drive partitioned runs by fixed step
+  /// budgets instead when the trajectory must be reproducible.
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
 
   // -- dynamic fault actuators (reactive injection; see fault_hook.hpp) ------
   // All of these may be called between run chunks or from FaultInjector
@@ -158,6 +163,13 @@ class SimRuntime {
   /// bit-identical to runs before this hook existed.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Partitioned mode only: install one reactive injector per logical
+  /// partition — K independent replicas of the same rules, fired on each
+  /// partition's local clock (see docs/RUNTIME.md "Partitioned execution"
+  /// for which rule shapes replicate faithfully). Non-owning; `injectors`
+  /// must be empty (detach) or have exactly partitions() entries.
+  void set_partition_fault_injectors(const std::vector<FaultInjector*>& injectors);
+
   [[nodiscard]] bool finished(Pid p) const;
   [[nodiscard]] bool crashed(Pid p) const;
   [[nodiscard]] bool all_done() const;
@@ -165,12 +177,33 @@ class SimRuntime {
   /// any. Call after a run to surface algorithm bugs in tests.
   void rethrow_process_error() const;
 
-  [[nodiscard]] Step now() const noexcept { return global_step_; }
+  /// The current global step. From a FaultInjector hook in partitioned mode
+  /// this is the calling partition's local clock (each LP replays the rules
+  /// on its own timeline); everywhere else it is the single global counter.
+  [[nodiscard]] Step now() const noexcept {
+    return tl_part_.rt == this ? *tl_part_.clock : global_step_;
+  }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
   /// The execution backend this runtime resolved to (config override, else
   /// the MM_SIM_BACKEND environment default).
   [[nodiscard]] SimBackend backend() const noexcept { return backend_; }
+
+  /// True when this runtime runs the partitioned (LP-sharded) schedule
+  /// contract — selected by SimConfig::partitions, else the advisory
+  /// MM_SIM_PARTITIONS environment default.
+  [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
+  /// Logical partitions actually in use — the graph-aware planner clamps the
+  /// request down to the GSM's component count. 0 when sequential.
+  [[nodiscard]] std::uint32_t partitions() const noexcept { return nparts_; }
+  /// pid → logical partition index (empty when sequential).
+  [[nodiscard]] const std::vector<std::uint32_t>& partition_of() const noexcept {
+    return part_of_;
+  }
+  /// Messages that crossed a partition boundary so far (0 when sequential).
+  /// Deliberately not a Metrics field: the count depends on the partition
+  /// plan, while Metrics must stay invariant in the partition count.
+  [[nodiscard]] std::uint64_t cross_partition_msgs() const noexcept { return cross_msgs_; }
   /// Register values indexed by RegId — i.e. in creation order, which is
   /// itself part of the deterministic trajectory. Differential-backend tests
   /// compare this table verbatim.
@@ -181,11 +214,14 @@ class SimRuntime {
   /// process ever touched it. Key-addressed (unlike register_values(), whose
   /// RegId order depends on the schedule), so explorer oracles can read
   /// results a process published to a well-known key on ANY interleaving.
-  [[nodiscard]] std::optional<std::uint64_t> register_value(RegKey key) const {
-    const auto it = reg_index_.find(key);
-    if (it == reg_index_.end()) return std::nullopt;
-    return reg_values_[it->second];
-  }
+  [[nodiscard]] std::optional<std::uint64_t> register_value(RegKey key) const;
+
+  /// Mode-independent register dump: (key bits, value) for every
+  /// materialised register with a non-zero value, sorted by key bits. Works
+  /// in sequential and partitioned mode alike (the PartitionDiff tests
+  /// compare it verbatim); register_values() stays sequential-only because
+  /// RegId creation order is per-shard under partitioning.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> register_dump() const;
 
   /// Interleave at register-op granularity (default on; see header comment).
   void set_auto_step_on_shm(bool on) noexcept { auto_step_on_shm_ = on; }
@@ -213,8 +249,11 @@ class SimRuntime {
   void set_footprint_recording(bool on);
   [[nodiscard]] bool footprint_recording() const noexcept { return record_footprints_; }
   /// Footprint of the most recently executed scheduler step. Valid while
-  /// recording is armed and at least one step has run.
-  [[nodiscard]] const StepFootprint& last_footprint() const noexcept { return footprint_; }
+  /// recording is armed and at least one step has run (sequential mode only
+  /// — partitioned slices retire concurrently, one scratch per LP).
+  [[nodiscard]] const StepFootprint& last_footprint() const noexcept {
+    return scratch_.footprint;
+  }
 
   /// Opt-in spin-cycle collapse: an *effect-free* slice (no writes, sends,
   /// clock reads, or randomness; drained nothing) whose observation sequence
@@ -270,6 +309,11 @@ class SimRuntime {
 
  private:
   friend class SimEnv;
+
+  // Partitioned-engine state, defined in sim_partition_detail.hpp (only the
+  // runtime's own translation units see the definitions).
+  struct Lp;
+  struct PartitionState;
 
   enum class ProcState : std::uint8_t { kNew, kParked, kFinished, kCrashed };
 
@@ -344,44 +388,64 @@ class SimRuntime {
   /// from check_register_access so env_reg (naming) stays available during
   /// the window — mirrors the thread runtime's check_memory_alive.
   void check_memory_alive(RegId r) const;
-  /// Pop every delivery-eligible message for `to` straight into `out`
-  /// (delivery order), maintaining pending_head_.
-  void drain_pending(Pid to, std::vector<Message>& out);
+  /// Pop every message for `to` eligible at `now_step` straight into `out`
+  /// (delivery order), maintaining pending_head_. Parted routes the
+  /// delivered count to the owner LP's scalar counters and skips tracing.
+  template <bool Parted>
+  void drain_pending(Pid to, Step now_step, std::vector<Message>& out);
   /// Apply the partition hold rule to a tentative delivery step; re-draws
   /// the post-window delay from `rng` (the link stream for originals, the
   /// fault stream for injected duplicates).
   [[nodiscard]] Step partition_hold(Pid from, Pid to, Step deliver_at, Rng& rng);
   void enqueue_message(Pid to, Step deliver_at, Message m);
+  /// Partitioned enqueue: local destinations go straight into pending_,
+  /// remote ones through the destination LP's mutex-protected inbox. `seq`
+  /// is sender-assigned ((step << 16) | slice send index — globally unique
+  /// because exactly one process executes per virtual step).
+  void parted_enqueue(Lp& lp, Pid to, Step deliver_at, std::uint64_t seq, Message m);
 
   // Env backends (called from the running process thread; serialized by the
-  // semaphore handoff, so no locking is needed). Templated on the recording
-  // policy: the <false> instantiations contain no footprint/observation code.
-  template <bool Recording>
+  // semaphore handoff — in partitioned mode by the per-partition handoff —
+  // so no locking is needed). Templated on the recording policy and the
+  // partitioned engine: the <false, false> instantiations — the sequential
+  // no-checker hot path — contain no footprint/observation code and no
+  // partition bookkeeping at all (compiled out, not branched around).
+  template <bool Recording, bool Parted>
   void env_send(Pid from, Pid to, Message m);
-  template <bool Recording>
+  template <bool Recording, bool Parted>
   void env_drain(Pid self, std::vector<Message>& out);
   RegId env_reg(Pid self, RegKey key);
-  template <bool Recording>
+  template <bool Recording, bool Parted>
   std::uint64_t env_read(Pid self, RegId r);
-  template <bool Recording>
+  template <bool Recording, bool Parted>
   void env_write(Pid self, RegId r, std::uint64_t v);
-  template <bool Recording>
+  template <bool Recording, bool Parted>
   std::uint64_t env_cas(Pid self, RegId r, std::uint64_t expected, std::uint64_t desired);
   void env_step(Pid self);
-  template <bool Recording>
+  template <bool Recording, bool Parted>
   bool env_coin(Pid self);
-  template <bool Recording>
+  template <bool Recording, bool Parted>
   std::uint64_t env_rand_below(Pid self, std::uint64_t bound);
-  template <bool Recording>
+  template <bool Recording, bool Parted>
   Step env_now(Pid self);
   void maybe_auto_step(Pid self);
 
+  /// Scratch for the recording state of the slice in flight. Sequential
+  /// mode uses the single scratch_ below; each partition LP carries its own
+  /// so footprint recording composes with concurrent slices.
+  struct SliceScratch {
+    StepFootprint footprint;   ///< footprint of the slice in flight / just retired
+    std::uint64_t pre_obs = 0; ///< obs hash snapshot at slice entry
+    std::uint64_t sig = 0;     ///< observation signature of the slice in flight
+    bool got_messages = false; ///< slice drained a non-empty inbox
+  };
+
   /// Fold one observation (tagged by kind) into `self`'s rolling observation
-  /// hash and into the current slice signature (for idle-slice collapse).
-  void obs_note(Pid self, std::uint64_t tag, std::uint64_t value);
+  /// hash and into the slice signature `sig` (for idle-slice collapse).
+  void obs_note(Pid self, std::uint64_t tag, std::uint64_t value, std::uint64_t& sig);
   /// Slice lifecycle around ProcExec::resume() while recording is armed.
-  void begin_slice(std::size_t pick);
-  void end_slice(std::size_t pick);
+  void begin_slice(std::size_t pick, SliceScratch& sc);
+  void end_slice(std::size_t pick, SliceScratch& sc);
   /// Hot-path tracing hook: a branch-predictable no-op unless enable_trace
   /// armed it (the capacity check inlines; the ring push stays out of line).
   void trace_event(Pid pid, TraceEvent::Kind kind, std::uint64_t a = 0, std::uint64_t b = 0) {
@@ -417,7 +481,7 @@ class SimRuntime {
   std::size_t crash_next_ = 0;
   bool started_ = false;
   bool shut_down_ = false;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
   bool auto_step_on_shm_ = true;
 
   Step global_step_ = 0;
@@ -462,15 +526,51 @@ class SimRuntime {
   // Footprint / observation recording (see the model-checker hooks above).
   bool record_footprints_ = false;
   bool idle_collapse_ = false;
-  StepFootprint footprint_;              ///< footprint of the slice in flight / just retired
+  SliceScratch scratch_;                 ///< sequential-mode slice scratch
   std::vector<std::uint64_t> obs_hash_;  ///< per-process rolling observation hash
-  std::uint64_t slice_pre_obs_ = 0;      ///< obs hash snapshot at slice entry
-  std::uint64_t slice_sig_ = 0;          ///< observation signature of the slice in flight
-  bool slice_got_messages_ = false;      ///< slice drained a non-empty inbox
   std::vector<std::uint64_t> last_idle_sig_;  ///< per-process last effect-free slice signature
   std::vector<char> last_idle_valid_;         ///< previous slice was effect-free
 
   Metrics metrics_;
+
+  // -- partitioned engine (docs/RUNTIME.md "Partitioned execution") ----------
+  // K logical partitions (LPs) advance concurrently under Chandy–Misra–Bryant
+  // conservative synchronization: the link delay lower bound is the
+  // lookahead, each LP publishes its clock atomically (the null-message
+  // broadcast), and a cross-partition send travels through the destination
+  // LP's mutex-protected inbox. The trajectory is a pure function of the
+  // seed, invariant in K and MM_JOBS — but it is its OWN schedule contract,
+  // not the sequential one. All heavyweight state lives behind part_ (defined
+  // in sim_partition_detail.hpp) so sequential runtimes pay one null pointer.
+  /// Set while a thread executes inside lp_run, so now() and the dynamic
+  /// actuators resolve to the calling LP's local timeline (FaultEngine
+  /// replicas fire on it). rt discriminates nested runtimes on one thread.
+  struct PartCtx {
+    const SimRuntime* rt = nullptr;
+    const Step* clock = nullptr;
+    Lp* lp = nullptr;  ///< lets actuators filter to the calling LP's pids
+  };
+  static thread_local PartCtx tl_part_;
+
+  void init_partitions();      ///< ctor tail: resolve K, build/validate plan
+  void start_partitioned();    ///< start() tail: LPs, shards, per-pid streams
+  Step run_partitioned(Step k);
+  void lp_run(Lp& lp, Step target);
+  void wait_horizon(Lp& lp, Step t) noexcept;
+  void drain_handoff(Lp& lp);
+  /// One process finished (crash=false, during step t) or crashed (crash=
+  /// true, at the step-t boundary) under the partitioned engine.
+  void mark_done_parted(Step t, bool crash);
+  RegId parted_reg(Pid self, RegKey key);
+  void parted_check_access(Pid accessor, RegId r) const;
+  void parted_check_memory_alive(RegId r, Step now_step) const;
+
+  bool partitioned_ = false;
+  std::uint32_t nparts_ = 0;
+  std::vector<std::uint32_t> part_of_;  ///< pid → LP index
+  std::vector<Lp*> lp_by_pid_;          ///< owner LP per pid (stable; set in start)
+  std::uint64_t cross_msgs_ = 0;        ///< merged after each run chunk
+  std::unique_ptr<PartitionState> part_;
 };
 
 }  // namespace mm::runtime

@@ -1,0 +1,386 @@
+// Differential tests for the partitioned (LP-sharded) simulator engine.
+//
+// The partitioned contract promises ONE deterministic trajectory per
+// (seed, config) — a pure function invariant in the partition count, the
+// execution backend, and MM_JOBS. These tests pin that promise: every cell
+// of a {partitions} × {backends} × {fault modes} grid must reproduce the
+// K = 1 partitioned baseline bit-for-bit (observable values, metrics,
+// canonical state hash, register dump, per-process step counts).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/tags.hpp"
+#include "fault/engine.hpp"
+#include "fault/rule.hpp"
+#include "graph/partitioner.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace mm::runtime {
+namespace {
+
+/// n = 14 processes, GSM = 7 disjoint edges {2i, 2i+1}: seven shared-memory
+/// components, so every K in {1, 2, 4, 7} is a legal component-level split.
+graph::Graph paired_gsm(std::size_t n) {
+  graph::Graph g{n};
+  for (std::uint32_t i = 0; i + 1 < n; i += 2) g.add_edge(Pid{i}, Pid{i + 1});
+  return g;
+}
+
+enum class FaultMode { kNone, kCrashPlan, kInjector };
+
+struct RunResult {
+  std::vector<std::uint64_t> sums;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> regs;
+  std::vector<std::uint64_t> steps_by_proc;
+  std::uint64_t sent = 0, delivered = 0, dropped = 0;
+  std::uint64_t reads = 0, writes = 0, cas_ops = 0;
+  StateHash hash{};
+  Step final_step = 0;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+/// The workload mixes every Env facility whose determinism the contract
+/// covers: sends (in- and cross-partition), inbox drains, own-register
+/// writes, partner-register CAS, coins, bounded randoms, and the clock. It
+/// never blocks on receipt, so it terminates under message-dropping faults.
+RunResult run_grid_cell(std::uint32_t k, SimBackend backend, FaultMode mode,
+                        std::uint64_t seed) {
+  constexpr std::uint32_t kN = 14;
+  constexpr int kIters = 120;
+  SimConfig cfg;
+  cfg.gsm = paired_gsm(kN);
+  cfg.seed = seed;
+  cfg.backend = backend;
+  cfg.min_delay = 2;
+  cfg.max_delay = 9;
+  cfg.partitions = k;
+  if (mode == FaultMode::kCrashPlan) {
+    cfg.crash_at.assign(kN, std::nullopt);
+    cfg.crash_at[3] = 40;
+    cfg.crash_at[8] = 77;
+  }
+  SimRuntime rt{cfg};
+  rt.set_footprint_recording(true);
+  std::vector<std::uint64_t> sums(kN, 0);
+  for (std::uint32_t p = 0; p < kN; ++p) {
+    rt.add_process([&sums, p](Env& env) {
+      const Pid partner{p % 2 == 0 ? p + 1 : p - 1};
+      const RegId mine = env.reg(RegKey::make(core::kTagState, env.self(), 0, 0));
+      const RegId theirs = env.reg(RegKey::make(core::kTagState, partner, 0, 0));
+      std::vector<Message> drained;
+      std::uint64_t acc = 0;
+      for (int i = 0; i < kIters; ++i) {
+        acc = acc * 0x100000001b3ULL + env.now() + (env.coin() ? 1 : 0);
+        env.write(mine, acc);
+        acc ^= env.cas(theirs, acc, acc + 1);
+        acc += env.read(mine) + env.rand_below(1000);
+        Message m;
+        m.kind = 1;
+        m.round = static_cast<std::uint64_t>(i);
+        m.value = acc;
+        env.send(Pid{(p + 3) % 14}, m);
+        if (i % 3 == 0) env.send(partner, m);
+        env.drain_inbox(drained);
+        for (const Message& r : drained) acc = acc * 31 + r.value + r.from.value();
+        env.step();
+      }
+      sums[p] = acc;
+    });
+  }
+  // One fresh FaultEngine replica per partition: each replays the same rule
+  // schedule on its own LP timeline, and the owner filter in the actuators
+  // applies every effect exactly once.
+  std::vector<std::unique_ptr<fault::FaultEngine>> engines;
+  if (mode == FaultMode::kInjector) {
+    fault::FaultRule burst;
+    burst.trigger = fault::Trigger::kAtStep;
+    burst.count = 30;
+    burst.action = fault::Action::kLinkBurst;
+    burst.duration = 60;
+    burst.drop_prob = 0.25;
+    burst.dup_prob = 0.25;
+    burst.extra_delay = 4;
+    fault::FaultRule crash;
+    crash.trigger = fault::Trigger::kAtStep;
+    crash.count = 55;
+    crash.action = fault::Action::kCrash;
+    crash.target = Pid{11};
+    std::vector<FaultInjector*> raw;
+    for (std::uint32_t q = 0; q < rt.partitions(); ++q) {
+      engines.push_back(std::make_unique<fault::FaultEngine>(
+          std::vector<fault::FaultRule>{burst, crash}));
+      raw.push_back(engines.back().get());
+    }
+    rt.set_partition_fault_injectors(raw);
+  }
+  EXPECT_TRUE(rt.run_until_all_done(200'000));
+  RunResult out;
+  out.sums = sums;
+  out.regs = rt.register_dump();
+  out.steps_by_proc = rt.metrics().steps_by_proc;
+  out.sent = rt.metrics().msgs_sent;
+  out.delivered = rt.metrics().msgs_delivered;
+  out.dropped = rt.metrics().msgs_dropped;
+  out.reads = rt.metrics().reg_reads;
+  out.writes = rt.metrics().reg_writes;
+  out.cas_ops = rt.metrics().reg_cas_ops;
+  out.hash = rt.state_hash();
+  out.final_step = rt.now();
+  return out;
+}
+
+class PartitionDiff : public ::testing::TestWithParam<FaultMode> {};
+
+TEST_P(PartitionDiff, TrajectoryInvariantInPartitionCountAndBackend) {
+  const FaultMode mode = GetParam();
+  const RunResult base = run_grid_cell(1, SimBackend::kCoroutine, mode, 42);
+  EXPECT_FALSE(base.regs.empty());
+  EXPECT_GT(base.delivered, 0u);
+  if (mode == FaultMode::kInjector) {
+    EXPECT_GT(base.dropped, 0u);
+  }
+  for (const SimBackend backend : {SimBackend::kCoroutine, SimBackend::kThread}) {
+    for (const std::uint32_t k : {1u, 2u, 4u, 7u}) {
+      if (backend == SimBackend::kCoroutine && k == 1) continue;  // the baseline
+      const RunResult got = run_grid_cell(k, backend, mode, 42);
+      EXPECT_EQ(got, base) << "partitions=" << k
+                           << " backend=" << (backend == SimBackend::kThread ? "thread" : "coroutine");
+    }
+  }
+  // A different seed must give a different trajectory (the grid equality
+  // above would otherwise be vacuous).
+  EXPECT_NE(run_grid_cell(4, SimBackend::kCoroutine, mode, 43), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PartitionDiff,
+                         ::testing::Values(FaultMode::kNone, FaultMode::kCrashPlan,
+                                           FaultMode::kInjector),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case FaultMode::kCrashPlan: return "CrashPlan";
+                             case FaultMode::kInjector: return "LinkBurstInjector";
+                             default: return "FaultFree";
+                           }
+                         });
+
+TEST(PartitionDiffJobs, TrajectoryInvariantInMmJobs) {
+  const char* old = std::getenv("MM_JOBS");
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv("MM_JOBS", "7", 1);
+  const RunResult a = run_grid_cell(4, SimBackend::kCoroutine, FaultMode::kNone, 7);
+  ::setenv("MM_JOBS", "1", 1);
+  const RunResult b = run_grid_cell(4, SimBackend::kCoroutine, FaultMode::kNone, 7);
+  if (old != nullptr)
+    ::setenv("MM_JOBS", saved.c_str(), 1);
+  else
+    ::unsetenv("MM_JOBS");
+  EXPECT_EQ(a, b);
+}
+
+/// Adversarial delay ties: min_delay == max_delay makes EVERY message from
+/// one step deliverable at the same step, so delivery order is decided
+/// purely by the (deliver_at, seq) total order — the exact spot where a
+/// racy handoff would scramble results. Multi-send slices sharpen it: seqs
+/// within a slice differ only in the low sends_in_slice bits.
+TEST(PartitionDiffTies, EqualDelayTiesResolveIdenticallyAcrossPartitions) {
+  auto run = [](std::uint32_t k) {
+    constexpr std::uint32_t kN = 8;
+    SimConfig cfg;
+    cfg.gsm = graph::Graph{kN};  // edgeless: any contiguous split is legal
+    cfg.seed = 1234;
+    cfg.min_delay = 3;
+    cfg.max_delay = 3;
+    cfg.partitions = k;
+    cfg.partition_of = graph::partition_contiguous(kN, k).part_of;
+    SimRuntime rt{cfg};
+    rt.set_footprint_recording(true);
+    std::vector<std::uint64_t> sums(kN, 0);
+    for (std::uint32_t p = 0; p < kN; ++p) {
+      rt.add_process([&sums, p](Env& env) {
+        std::vector<Message> drained;
+        std::uint64_t acc = p;
+        for (int i = 0; i < 200; ++i) {
+          Message m;
+          m.kind = 2;
+          for (std::uint32_t d = 1; d <= 3; ++d) {  // 3 sends, one slice
+            m.value = acc + d;
+            env.send(Pid{(p + d) % kN}, m);
+          }
+          env.drain_inbox(drained);
+          for (const Message& r : drained) acc = acc * 33 + r.value;
+          env.step();
+        }
+        sums[p] = acc;
+      });
+    }
+    rt.run_steps(2'000);
+    return std::pair{sums, rt.state_hash()};
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(4), base);
+}
+
+TEST(PartitionDiffChunks, ChunkedRunsMatchOneShotRuns) {
+  auto run = [](bool chunked) {
+    SimConfig cfg;
+    cfg.gsm = paired_gsm(6);
+    cfg.seed = 9;
+    cfg.partitions = 3;
+    SimRuntime rt{cfg};
+    rt.set_footprint_recording(true);
+    for (std::uint32_t p = 0; p < 6; ++p) {
+      rt.add_process([p](Env& env) {
+        for (int i = 0; i < 50; ++i) {
+          Message m;
+          m.kind = 3;
+          m.value = p * 1000u + static_cast<std::uint64_t>(i);
+          env.send(Pid{(p + 1) % 6}, m);
+          env.step();
+        }
+      });
+    }
+    if (chunked) {
+      // Uneven chunks cross the handoff-flush boundary repeatedly: pending
+      // state (heaps AND inboxes) must round-trip losslessly.
+      for (const Step c : {7u, 1u, 23u, 120u, 400u}) rt.run_steps(c);
+    } else {
+      rt.run_steps(551);
+    }
+    return std::pair{rt.state_hash(), rt.metrics().msgs_delivered};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// --- SimConfig validation of the partition knobs ---------------------------
+
+SimConfig parted_config(std::uint32_t n, std::uint32_t k) {
+  SimConfig cfg;
+  cfg.gsm = graph::Graph{n};
+  cfg.partitions = k;
+  return cfg;
+}
+
+TEST(SimConfigValidate, PartitionCountBounds) {
+  EXPECT_THROW(parted_config(4, 0).validate(), ConfigError);
+  EXPECT_THROW(parted_config(4, 5).validate(), ConfigError);
+  EXPECT_THROW(parted_config(65, 65).validate(), ConfigError);
+  EXPECT_NO_THROW(parted_config(4, 4).validate());
+}
+
+TEST(SimConfigValidate, PartitionedModeNeedsLookahead) {
+  SimConfig cfg = parted_config(4, 2);
+  cfg.min_delay = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(SimConfigValidate, PartitionedModeRejectsSequentialOnlyKnobs) {
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.timely = Pid{0};
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.sched_weight.assign(4, 1.0);
+    cfg.sched_weight[2] = 2.0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.partition = Partition{0b0011, 10, 20};
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.trace_capacity = 1024;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.sched_weight.assign(4, 1.0);  // uniform weights are fine
+    EXPECT_NO_THROW(cfg.validate());
+  }
+}
+
+TEST(SimConfigValidate, PartitionPlanRules) {
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.partition_of = {0, 1, 0};  // wrong arity
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.partition_of = {0, 1, 0, 2};  // index out of range
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.gsm.add_edge(Pid{1}, Pid{2});
+    cfg.partition_of = {0, 0, 1, 1};  // splits GSM edge {1,2}
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    SimConfig cfg = parted_config(4, 2);
+    cfg.partition_of = {0, 0, 1, 1};
+    EXPECT_NO_THROW(cfg.validate());
+  }
+  {
+    SimConfig cfg;
+    cfg.gsm = graph::Graph{4};
+    cfg.partition_of = {0, 0, 1, 1};  // plan without the partitions knob
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+}
+
+TEST(PartitionedRuntime, GlobalRegistersThrowAndForeignAccessIsDenied) {
+  SimConfig cfg = parted_config(4, 2);
+  SimRuntime rt{cfg};
+  int denied = 0;
+  rt.add_process([&denied](Env& env) {
+    try {
+      (void)env.reg(RegKey::make_global(core::kTagState, Pid{0}));
+    } catch (const ModelViolation&) {
+      ++denied;
+    }
+    try {
+      (void)env.reg(RegKey::make(core::kTagState, Pid{3}, 0, 0));  // no GSM edge
+    } catch (const ModelViolation&) {
+      ++denied;
+    }
+    env.step();
+  });
+  for (std::uint32_t p = 1; p < 4; ++p)
+    rt.add_process([](Env& env) { env.step(); });
+  EXPECT_TRUE(rt.run_until_all_done(10'000));
+  EXPECT_EQ(denied, 2);
+}
+
+TEST(PartitionedRuntime, ReportsPlanAndCrossPartitionTraffic) {
+  SimConfig cfg = parted_config(6, 3);
+  SimRuntime rt{cfg};
+  EXPECT_TRUE(rt.partitioned());
+  EXPECT_EQ(rt.partitions(), 3u);
+  for (std::uint32_t p = 0; p < 6; ++p) {
+    rt.add_process([p](Env& env) {
+      Message m;
+      m.kind = 1;
+      for (int i = 0; i < 10; ++i) {
+        env.send(Pid{(p + 1) % 6}, m);
+        env.step();
+      }
+    });
+  }
+  EXPECT_TRUE(rt.run_until_all_done(10'000));
+  EXPECT_GT(rt.cross_partition_msgs(), 0u);
+  EXPECT_LE(rt.cross_partition_msgs(), rt.metrics().msgs_sent);
+}
+
+}  // namespace
+}  // namespace mm::runtime
