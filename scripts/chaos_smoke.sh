@@ -2,10 +2,13 @@
 # Chaos smoke: proves the fault-injection campaign loop hasn't bit-rotted.
 #
 # Builds (or reuses) the tools/chaos driver, runs a small seeded safety
-# campaign (must find nothing), then a planted-termination campaign (the
-# deliberately false invariant) and replays every minimized repro it wrote —
-# the shrink → JSON → --replay round trip end to end. Wired into CTest under
-# the "chaos" label:
+# campaign (must find nothing), a Byzantine safety campaign (coherent b <= f
+# cases; also must find nothing), then planted campaigns — the deliberately
+# false termination invariant, crash-style and Byzantine-style — and replays
+# every minimized repro they wrote: the shrink -> JSON -> --replay round trip
+# end to end. Planted campaigns pass --expect-violations, since any campaign
+# that records a violation now exits 1. Wired into CTest under the "chaos"
+# label:
 #     ctest -L chaos
 #
 # Env:
@@ -29,19 +32,28 @@ mkdir -p "$OUT"
 echo "== safety campaign (seed 11, 40 trials; any violation is a bug) =="
 "$CHAOS" campaign --seed 11 --trials 40 --out "$OUT"
 
+echo "== byzantine safety campaign (seed 7, 40 trials; any violation is a bug) =="
+"$CHAOS" campaign --seed 7 --trials 40 --byzantine --no-omega --out "$OUT"
+
 echo "== planted-termination campaign (seed 3, 60 trials) =="
 # The termination oracle is deliberately false under arbitrary fault
-# schedules; planted campaigns exit 0 with findings written as repro files.
-"$CHAOS" campaign --seed 3 --trials 60 --assert-termination --out "$OUT"
+# schedules; the campaign must record findings (and write repro files).
+mkdir -p "$OUT/crash" "$OUT/byz"
+"$CHAOS" campaign --seed 3 --trials 60 --assert-termination \
+  --expect-violations --out "$OUT/crash"
 
-repros=("$OUT"/chaos-repro-*.json)
+echo "== planted byzantine campaign (seed 5, 30 trials; b = f+1 silent) =="
+"$CHAOS" campaign --seed 5 --trials 30 --byzantine --no-omega \
+  --assert-termination --expect-violations --out "$OUT/byz"
+
+repros=("$OUT"/*/chaos-repro-*.json)
 if [ -e "${repros[0]}" ]; then
   echo "== replaying ${#repros[@]} minimized repro(s) =="
   "$CHAOS" replay "${repros[@]}"
 else
-  # Determinism makes this stable per seed: seed 3 does produce findings
+  # Determinism makes this stable per seed: these seeds do produce findings
   # today, so an empty directory means the generator or shrinker regressed.
-  echo "FAIL: planted campaign produced no repro files"
+  echo "FAIL: planted campaigns produced no repro files"
   exit 1
 fi
 

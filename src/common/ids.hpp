@@ -41,7 +41,13 @@ class Pid {
 };
 
 [[nodiscard]] inline std::string to_string(Pid p) {
-  return p.is_none() ? std::string{"p?"} : "p" + std::to_string(p.value());
+  // Built via += rather than `"p" + std::to_string(...)`: the operator+ form
+  // trips GCC 12's -Wrestrict false positive (PR 105329) under -Werror once
+  // inlined into large translation units.
+  if (p.is_none()) return std::string{"p?"};
+  std::string s{"p"};
+  s += std::to_string(p.value());
+  return s;
 }
 
 /// Identifier of a shared register inside a RegisterTable.

@@ -15,6 +15,7 @@ inline constexpr std::uint8_t kTagState = 4;         ///< Ω STATE[p] (Fig. 3)
 inline constexpr std::uint8_t kTagNotifications = 5; ///< Ω NOTIFICATIONS[p] (Fig. 5)
 inline constexpr std::uint8_t kTagNotifies = 6;      ///< Ω NOTIFIES[p][q] (Fig. 5)
 inline constexpr std::uint8_t kTagMutex = 7;         ///< m&m mutual exclusion (E12)
+inline constexpr std::uint8_t kTagByzReg = 8;        ///< ByzRegister published pairs (E20)
 
 // Message kinds (Message.kind).
 inline constexpr std::uint32_t kMsgPhaseR = 1;   ///< HBO phase R
@@ -30,6 +31,7 @@ inline constexpr std::uint32_t kMsgAbdWrite = 10; ///< ABD write-back / ack
 inline constexpr std::uint32_t kMsgPaxos = 11;    ///< Ω-Paxos prepare/accept traffic
 inline constexpr std::uint32_t kMsgBracha = 12;   ///< Bracha reliable-broadcast phases
 inline constexpr std::uint32_t kMsgPaxosLog = 13; ///< Multi-Paxos replicated-log traffic
+inline constexpr std::uint32_t kMsgByzReg = 14;   ///< Byzantine-tolerant register traffic
 
 // HBO value encoding: binary consensus values plus the phase-P '?'.
 inline constexpr std::uint32_t kValQuestion = 2;  ///< the '?' of Fig. 2

@@ -8,7 +8,9 @@
 #include "common/rng.hpp"
 #include "exec/parallel_map.hpp"
 #include "core/ben_or.hpp"
+#include "core/byz_register.hpp"
 #include "core/hbo.hpp"
+#include "core/tags.hpp"
 #include "core/omega.hpp"
 #include "core/omega_mp.hpp"
 #include "core/sm_consensus.hpp"
@@ -219,6 +221,132 @@ TerminationSweep sweep_termination(ConsensusTrialConfig cfg, std::uint64_t trial
     sweep.mean_steps = steps / static_cast<double>(terminated);
   }
   return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine register trials (E20)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Harness-global completion flag, one per process (slot 1 keeps it disjoint
+/// from the ByzRegister pair registers, which use slot 0 and no global bit).
+runtime::RegKey byz_done_key(Pid p) {
+  return runtime::RegKey::make_global(kTagByzReg, p, 0, 1);
+}
+
+}  // namespace
+
+ByzRegisterTrialResult run_byz_register_trial(const ByzRegisterTrialConfig& cfg) {
+  const std::size_t n = cfg.gsm.size();
+  MM_ASSERT(n >= 2);
+  const Pid writer{0};
+
+  // Resilience-bound validation, mirroring SimConfig::validate's style: a
+  // mis-parameterised register instance is a config error, not a finding.
+  const bool bracha_ok = n > 3 * cfg.f;
+  if (!cfg.use_gsm && !bracha_ok) {
+    throw runtime::ConfigError{
+        "byz_register (message mode) requires n > 3f: n = " + std::to_string(n) +
+        ", f = " + std::to_string(cfg.f)};
+  }
+  if (cfg.use_gsm) {
+    if (n <= 2 * cfg.f) {
+      throw runtime::ConfigError{
+          "byz_register (hybrid mode) requires n > 2f: n = " + std::to_string(n) +
+          ", f = " + std::to_string(cfg.f)};
+    }
+    if (!bracha_ok) {
+      for (std::size_t q = 1; q < n; ++q) {
+        if (!cfg.gsm.has_edge(writer, Pid{static_cast<std::uint32_t>(q)})) {
+          throw runtime::ConfigError{
+              "byz_register (hybrid mode) with f >= n/3 disables the Bracha "
+              "channel, so the writer must neighbor every process; p" +
+              std::to_string(q) + " is outside the writer's GSM neighborhood"};
+        }
+      }
+    }
+  }
+
+  SimConfig sim;
+  sim.gsm = cfg.gsm;
+  sim.seed = cfg.seed;
+  sim.min_delay = cfg.min_delay;
+  sim.max_delay = cfg.max_delay;
+  sim.backend = cfg.backend;
+  sim.crash_at = cfg.crash_at;
+  sim.byzantine = cfg.byzantine;  // validate() rejects crash-plan overlap
+
+  SimRuntime rt{std::move(sim)};
+  if (cfg.injector != nullptr) rt.set_fault_injector(cfg.injector);
+
+  ByzRegisterTrialResult res;
+  res.written.reserve(cfg.writes);
+  for (std::size_t w = 1; w <= cfg.writes; ++w) res.written.push_back(w);
+  res.histories.resize(n);
+
+  std::vector<std::unique_ptr<ByzRegister>> regs;
+  regs.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    ByzRegister::Config bc;
+    bc.f = cfg.f;
+    bc.writer = writer;
+    bc.tag = 1;
+    bc.use_gsm = cfg.use_gsm;
+    bc.gsm = &cfg.gsm;
+    regs.push_back(std::make_unique<ByzRegister>(bc));
+    rt.add_process([p, &cfg, reg = regs.back().get(),
+                    hist = &res.histories[p]](runtime::Env& env) {
+      if (p == 0) {
+        for (std::size_t w = 1; w <= cfg.writes; ++w) {
+          const Step invoked = env.now();
+          if (!reg->write(env, w)) return;
+          hist->record_write(w, invoked, env.now(), env.self());
+        }
+      }
+      for (std::size_t r = 0; r < cfg.reads_per_proc; ++r) {
+        const Step invoked = env.now();
+        const auto v = reg->read(env);
+        if (!v.has_value()) return;
+        hist->record_read(*v, invoked, env.now(), env.self());
+      }
+      env.write(env.reg(byz_done_key(env.self())), 1);
+      // Stay alive as a server: other processes' reads need our rows/acks.
+      while (!env.stop_requested()) {
+        reg->pump(env);
+        env.step();
+      }
+    });
+  }
+
+  // Drive until every correct process published its completion flag (a
+  // Byzantine process's own operations have no liveness guarantee — its
+  // traffic is being corrupted — so it is excluded like a crashed one).
+  while (rt.now() < cfg.budget && !res.completed) {
+    rt.run_steps(2'000);
+    rt.rethrow_process_error();
+    bool all = true;
+    for (std::size_t p = 0; p < n; ++p) {
+      const Pid pid{static_cast<std::uint32_t>(p)};
+      if (rt.crashed(pid)) continue;
+      if (!cfg.byzantine.empty() && cfg.byzantine[p] != 0) continue;
+      if (rt.register_value(byz_done_key(pid)).value_or(0) == 0) {
+        all = false;
+        break;
+      }
+    }
+    res.completed = all;
+  }
+  res.steps_used = rt.now();
+  res.crashed.resize(n);
+  for (std::size_t p = 0; p < n; ++p)
+    res.crashed[p] = rt.crashed(Pid{static_cast<std::uint32_t>(p)});
+  rt.shutdown();
+  rt.rethrow_process_error();
+
+  res.adopted.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) res.adopted.push_back(regs[p]->adopted_log());
+  return res;
 }
 
 // ---------------------------------------------------------------------------

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
+#include "check/linearizability.hpp"
 #include "graph/graph.hpp"
 #include "runtime/fault_hook.hpp"
 #include "runtime/sim_config.hpp"
@@ -96,6 +98,50 @@ struct TerminationSweep {
 };
 [[nodiscard]] TerminationSweep sweep_termination(ConsensusTrialConfig cfg,
                                                  std::uint64_t trials);
+
+// ---------------------------------------------------------------------------
+// Byzantine register trials (E20)
+// ---------------------------------------------------------------------------
+
+/// One adversarial run of a ByzRegister instance: p0 writes values 1..writes
+/// in order, every process (p0 included) then performs `reads_per_proc`
+/// reads, and everyone keeps serving until all correct processes finished.
+/// The Byzantine set is declarative here (validation + oracle scoping); the
+/// actual corruption comes from the installed injector's kGoByzantine rules.
+struct ByzRegisterTrialConfig {
+  graph::Graph gsm;
+  std::uint64_t seed = 1;
+  std::size_t f = 0;        ///< configured tolerance of the register instance
+  bool use_gsm = false;     ///< hybrid m&m mode (see core/byz_register.hpp)
+  std::size_t writes = 3;   ///< writer writes 1..writes
+  std::size_t reads_per_proc = 2;
+  Step budget = 400'000;
+  Step min_delay = 1;
+  Step max_delay = 8;
+  /// Declarative Byzantine set (empty = none); must not overlap crash_at and
+  /// is validated against the register's resilience bound (n > 3f message
+  /// mode, n > 2f hybrid — hybrid past n > 3f also needs the writer to
+  /// neighbor every process, since the Bracha channel is then disabled).
+  std::vector<std::uint8_t> byzantine;
+  std::vector<std::optional<Step>> crash_at;  ///< crash plan (within f budget)
+  std::optional<runtime::SimBackend> backend;
+  runtime::FaultInjector* injector = nullptr;
+};
+
+struct ByzRegisterTrialResult {
+  bool completed = false;   ///< all correct processes finished their ops
+  Step steps_used = 0;
+  std::vector<std::uint64_t> written;  ///< values the writer's code issued
+  /// Completed operations per process (writes at p0, reads everywhere),
+  /// recorded with invocation/response steps for the linearizability oracle.
+  std::vector<check::HistoryRecorder> histories;
+  /// Per-process adopted (ts → value) logs for the agreement oracle.
+  std::vector<std::map<std::uint32_t, std::uint64_t>> adopted;
+  std::vector<bool> crashed;
+};
+
+[[nodiscard]] ByzRegisterTrialResult run_byz_register_trial(
+    const ByzRegisterTrialConfig& cfg);
 
 // ---------------------------------------------------------------------------
 // Ω trials

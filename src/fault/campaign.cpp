@@ -11,7 +11,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   std::vector<ChaosCase> cases;
   cases.reserve(cfg.trials);
   for (std::uint64_t i = 0; i < cfg.trials; ++i)
-    cases.push_back(random_case(gen, cfg.include_omega, cfg.assert_termination));
+    cases.push_back(random_case(gen, cfg.include_omega, cfg.assert_termination,
+                                cfg.include_byzantine));
 
   // Each case builds its own FaultEngine inside run_chaos_case, so the
   // fan-out shares nothing mutable.

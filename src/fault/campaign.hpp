@@ -24,6 +24,7 @@ struct CampaignConfig {
   std::uint64_t seed = 1;
   std::uint64_t trials = 100;
   bool include_omega = true;
+  bool include_byzantine = false;   ///< mix in Byzantine-register cases
   bool assert_termination = false;  ///< plant the false invariant
   bool shrink_findings = true;
   std::size_t max_findings = 4;     ///< stop shrinking after this many

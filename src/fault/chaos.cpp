@@ -11,6 +11,7 @@ const char* to_string(CaseKind k) noexcept {
   switch (k) {
     case CaseKind::kConsensus: return "consensus";
     case CaseKind::kOmega: return "omega";
+    case CaseKind::kByzRegister: return "byz_register";
   }
   return "?";
 }
@@ -86,6 +87,36 @@ ChaosOutcome run_chaos_case(const ChaosCase& c) {
     out.decided = res.all_correct_decided;
     out.steps_used = res.steps_used;
     out.violation = check_consensus(res, c.oracles);
+  } else if (c.kind == CaseKind::kByzRegister) {
+    core::ByzRegisterTrialConfig bc;
+    bc.gsm = make_topology(c.topology, c.n);
+    bc.seed = c.seed;
+    bc.f = c.f;
+    bc.use_gsm = c.byz_hybrid;
+    bc.writes = c.byz_writes;
+    bc.budget = c.budget;
+    bc.max_delay = c.max_delay;
+    // The declarative Byzantine set is derived from the schedule so it can
+    // never drift from what the engine will actually corrupt — ddmin removing
+    // a kGoByzantine rule shrinks both in lockstep.
+    bc.byzantine.assign(c.n, 0);
+    for (const FaultRule& r : c.rules)
+      if (r.action == Action::kGoByzantine && !r.target.is_none() &&
+          r.target.index() < c.n)
+        bc.byzantine[r.target.index()] = 1;
+    bc.injector = &engine;
+    try {
+      const core::ByzRegisterTrialResult res = core::run_byz_register_trial(bc);
+      out.decided = res.completed;
+      out.steps_used = res.steps_used;
+      out.violation = check_byz_register(res, engine.adversary().byz_mask(), c.oracles);
+    } catch (const runtime::ConfigError&) {
+      // Hand-edited or shrink-probed cases can leave the register's legal
+      // envelope (f past the resilience bound, hybrid without the required
+      // writer edges). An illegal case proves nothing: report it as passing
+      // so the shrinker backs off instead of "minimizing" into nonsense.
+      out.decided = false;
+    }
   } else {
     core::OmegaTrialConfig oc;
     oc.n = c.n;
@@ -196,11 +227,77 @@ FaultRule random_omega_rule(Rng& rng, std::size_t n) {
   return r;
 }
 
+/// Byzantine-register cases. Safety campaigns draw coherent instances
+/// (b ≤ f within the mode's resilience bound, writer never Byzantine, only
+/// message-channel misbehavior in hybrid mode) so the Byzantine safety
+/// oracles are genuine invariants. Planted campaigns instead arm termination
+/// and corrupt one silent process *more* than f: the write quorum n − f then
+/// provably cannot fill (only n − b = n − f − 1 processes respond).
+ChaosCase random_byz_case(Rng& rng, bool assert_termination) {
+  ChaosCase c;
+  c.kind = CaseKind::kByzRegister;
+  c.seed = rng();
+  c.n = 4 + rng.below(6);  // 4..9
+  c.byz_hybrid = !assert_termination && rng.coin();
+  if (c.byz_hybrid) {
+    // Hybrid rides the shared-memory fast path: every adoption is published
+    // to a register the whole (complete) neighborhood can read, so the
+    // instance tolerates any f < n/2.
+    c.topology = Topology::kComplete;
+    c.f = rng.between(1, (c.n - 1) / 2);
+  } else {
+    // Pure message passing: classic signature-free bound n > 3f.
+    c.topology = Topology::kEdgeless;
+    const std::size_t fmax = (c.n - 1) / 3;
+    c.f = fmax == 0 ? 0 : rng.below(fmax + 1);
+  }
+  const std::size_t b = assert_termination ? c.f + 1 : rng.below(c.f + 1);
+  c.byz_writes = 2 + rng.below(3);
+  c.max_delay = rng.between(2, 10);
+  c.budget = 200'000;
+  c.oracles = {Oracle::kByzAgreement, Oracle::kByzValidity, Oracle::kByzLinearizable};
+  if (assert_termination) c.oracles.push_back(Oracle::kTermination);
+
+  // Corrupt b distinct non-writer processes; the writer stays honest so
+  // check_swmr_atomic's distinct-write precondition holds at correct procs.
+  std::vector<std::uint32_t> pool;
+  for (std::uint32_t p = 1; p < c.n; ++p) pool.push_back(p);
+  for (std::size_t i = 0; i < b && !pool.empty(); ++i) {
+    const std::size_t pick = static_cast<std::size_t>(rng.below(pool.size()));
+    FaultRule r;
+    r.trigger = Trigger::kAtStep;
+    r.count = rng.below(1'500);
+    r.action = Action::kGoByzantine;
+    r.target = Pid{pool[pick]};
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (assert_termination) {
+      r.byz_behaviors = kByzSilence;
+      r.byz_silence_mask = ~std::uint64_t{0};  // silent toward everyone
+      r.count = 0;                             // byzantine from the first step
+    } else {
+      // Any mix of message-channel misbehavior; kByzCorruptWrites stays out
+      // of generated cases (it attacks the register fast path, which only a
+      // Byzantine *writer* can leverage — the deliberately-planted demos).
+      r.byz_behaviors = 1U + static_cast<std::uint32_t>(
+                                 rng.below((kByzEquivocate | kByzSilence |
+                                            kByzCorrupt | kByzReplay)));
+      if ((r.byz_behaviors & kByzSilence) != 0)
+        r.byz_silence_mask = rng();  // silence a random destination subset
+      r.drop_prob = rng.coin() ? 0.0 : rng.uniform01();  // corruption intensity
+    }
+    c.rules.push_back(r);
+  }
+  return c;
+}
+
 }  // namespace
 
-ChaosCase random_case(Rng& rng, bool include_omega, bool assert_termination) {
+ChaosCase random_case(Rng& rng, bool include_omega, bool assert_termination,
+                      bool include_byzantine) {
   ChaosCase c;
   c.seed = rng();
+  if (include_byzantine && rng.below(3) == 0)
+    return random_byz_case(rng, assert_termination);
   if (include_omega && rng.below(4) == 0) {
     c.kind = CaseKind::kOmega;
     c.n = 4 + rng.below(5);
@@ -268,6 +365,8 @@ Json rule_to_json(const FaultRule& r) {
   j.set("drop_prob", Json::number(r.drop_prob));
   j.set("dup_prob", Json::number(r.dup_prob));
   j.set("extra_delay", Json::uint(r.extra_delay));
+  j.set("byz_behaviors", Json::uint(r.byz_behaviors));
+  j.set("byz_silence_mask", Json::uint(r.byz_silence_mask));
   return j;
 }
 
@@ -287,6 +386,14 @@ FaultRule rule_from_json(const Json& j) {
   r.drop_prob = j.at("drop_prob").as_double();
   r.dup_prob = j.at("dup_prob").as_double();
   r.extra_delay = j.at("extra_delay").as_u64();
+  // Byzantine fields arrived in repro version 2; absent = 0 so version-1
+  // documents keep parsing.
+  if (const Json* b = j.find("byz_behaviors")) {
+    const std::uint64_t v = b->as_u64();
+    if (v > 0xFFFF'FFFFULL) throw JsonError{"byz_behaviors out of range"};
+    r.byz_behaviors = static_cast<std::uint32_t>(v);
+  }
+  if (const Json* m = j.find("byz_silence_mask")) r.byz_silence_mask = m->as_u64();
   return r;
 }
 
@@ -303,6 +410,11 @@ Json case_to_json(const ChaosCase& c) {
     j.set("f", Json::uint(c.f));
     j.set("crash_window", Json::uint(c.crash_window));
     j.set("max_rounds", Json::uint(c.max_rounds));
+  } else if (c.kind == CaseKind::kByzRegister) {
+    j.set("topology", Json::str(to_string(c.topology)));
+    j.set("f", Json::uint(c.f));
+    j.set("byz_hybrid", Json::boolean(c.byz_hybrid));
+    j.set("byz_writes", Json::uint(c.byz_writes));
   } else {
     j.set("omega_algo", Json::str(core::to_string(c.omega_algo)));
     j.set("drop_prob", Json::number(c.drop_prob));
@@ -325,6 +437,8 @@ ChaosCase case_from_json(const Json& j) {
     c.kind = CaseKind::kConsensus;
   } else if (kind == to_string(CaseKind::kOmega)) {
     c.kind = CaseKind::kOmega;
+  } else if (kind == to_string(CaseKind::kByzRegister)) {
+    c.kind = CaseKind::kByzRegister;
   } else {
     throw JsonError{"unknown case kind \"" + kind + "\""};
   }
@@ -341,6 +455,15 @@ ChaosCase case_from_json(const Json& j) {
     c.f = j.at("f").as_u64();
     c.crash_window = j.at("crash_window").as_u64();
     c.max_rounds = j.at("max_rounds").as_u64();
+  } else if (c.kind == CaseKind::kByzRegister) {
+    const auto topo = topology_from_string(j.at("topology").as_string());
+    if (!topo) throw JsonError{"unknown topology"};
+    c.topology = *topo;
+    c.f = j.at("f").as_u64();
+    c.byz_hybrid = j.at("byz_hybrid").as_bool();
+    c.byz_writes = j.at("byz_writes").as_u64();
+    if (c.byz_writes < 1 || c.byz_writes > 0xFF'FFFF)
+      throw JsonError{"byz_writes out of range"};
   } else {
     const auto algo = omega_algo_from_string(j.at("omega_algo").as_string());
     if (!algo) throw JsonError{"unknown omega algo"};
@@ -361,7 +484,9 @@ ChaosCase case_from_json(const Json& j) {
 std::string repro_to_string(const ChaosCase& c, const Violation* v) {
   Json doc = Json::object();
   doc.set("format", Json::str("mm-chaos-repro"));
-  doc.set("version", Json::uint(1));
+  // Version 2 added the Byzantine rule fields and the byz_register case
+  // kind; version-1 documents (no such fields) still parse.
+  doc.set("version", Json::uint(2));
   doc.set("case", case_to_json(c));
   if (v != nullptr) {
     Json vj = Json::object();
@@ -377,7 +502,8 @@ ChaosCase repro_from_string(std::string_view text, std::optional<Violation>* rec
   const Json* fmt = doc.find("format");
   if (fmt == nullptr || fmt->as_string() != "mm-chaos-repro")
     throw JsonError{"not an mm-chaos-repro document"};
-  if (doc.at("version").as_u64() != 1) throw JsonError{"unsupported repro version"};
+  const std::uint64_t version = doc.at("version").as_u64();
+  if (version < 1 || version > 2) throw JsonError{"unsupported repro version"};
   if (recorded != nullptr) {
     recorded->reset();
     if (const Json* vj = doc.find("violation")) {

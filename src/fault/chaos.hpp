@@ -21,7 +21,7 @@
 
 namespace mm::fault {
 
-enum class CaseKind : std::uint8_t { kConsensus, kOmega };
+enum class CaseKind : std::uint8_t { kConsensus, kOmega, kByzRegister };
 [[nodiscard]] const char* to_string(CaseKind k) noexcept;
 
 /// Deterministic topology families only (a random-regular GSM would smuggle
@@ -51,6 +51,13 @@ struct ChaosCase {
   core::OmegaAlgo omega_algo = core::OmegaAlgo::kMnmReliable;
   double drop_prob = 0.0;     ///< fair-lossy links (Ω fair-lossy variant)
 
+  // Byzantine-register scenario knobs (kind == kByzRegister). `f` above is
+  // reused as the register's *configured* tolerance; the actual Byzantine
+  // set is whatever the kGoByzantine rules target, so over-tolerant planted
+  // cases simply carry more rules than f admits.
+  bool byz_hybrid = false;    ///< hybrid m&m mode (shared-memory fast path)
+  std::size_t byz_writes = 3; ///< writer issues values 1..byz_writes
+
   Step max_delay = 8;
   Step budget = 200'000;
   std::uint64_t max_rounds = 4'000;
@@ -77,9 +84,14 @@ struct ChaosOutcome {
 /// kTermination — deliberately a *false* invariant under arbitrary fault
 /// schedules, which is how campaigns plant findable bugs. Ω cases arm
 /// kOmegaStabilizes and keep their schedules away from the timely process so
-/// stabilization is genuinely expected.
+/// stabilization is genuinely expected. `include_byzantine` mixes in
+/// ByzRegister cases whose Byzantine sets respect the resilience bound
+/// (b ≤ f, never the writer), so their safety oracles are true invariants;
+/// with `assert_termination` the Byzantine cases instead plant one silent
+/// process too many (b = f + 1), which provably stalls the write quorum.
 [[nodiscard]] ChaosCase random_case(Rng& rng, bool include_omega,
-                                    bool assert_termination);
+                                    bool assert_termination,
+                                    bool include_byzantine = false);
 
 // JSON (de)serialization. case_from_json throws JsonError on malformed input.
 [[nodiscard]] Json case_to_json(const ChaosCase& c);

@@ -22,6 +22,7 @@ const char* to_string(Action a) noexcept {
     case Action::kMemoryWindow: return "memory_window";
     case Action::kLinkBurst: return "link_burst";
     case Action::kRevokeTimely: return "revoke_timely";
+    case Action::kGoByzantine: return "go_byzantine";
   }
   return "?";
 }
@@ -35,15 +36,17 @@ std::optional<Trigger> trigger_from_string(std::string_view s) noexcept {
 
 std::optional<Action> action_from_string(std::string_view s) noexcept {
   for (auto a : {Action::kCrash, Action::kPartition, Action::kHealPartition,
-                 Action::kMemoryWindow, Action::kLinkBurst, Action::kRevokeTimely})
+                 Action::kMemoryWindow, Action::kLinkBurst, Action::kRevokeTimely,
+                 Action::kGoByzantine})
     if (s == to_string(a)) return a;
   return std::nullopt;
 }
 
-FaultEngine::FaultEngine(std::vector<FaultRule> rules)
+FaultEngine::FaultEngine(std::vector<FaultRule> rules, std::uint64_t byz_seed)
     : rules_(std::move(rules)),
       fired_(rules_.size(), false),
-      send_seen_(rules_.size(), 0) {
+      send_seen_(rules_.size(), 0),
+      adversary_(byz_seed) {
   for (const FaultRule& r : rules_)
     any_step_rules_ |= r.trigger == Trigger::kAtStep;
 }
@@ -132,6 +135,12 @@ void FaultEngine::fire(runtime::SimRuntime& rt, std::size_t i, Pid context) {
     }
     case Action::kRevokeTimely:
       rt.revoke_timely();
+      break;
+    case Action::kGoByzantine:
+      if (target_ok) {
+        adversary_.go_byzantine(
+            target, ByzPolicy{r.byz_behaviors, r.byz_silence_mask, r.drop_prob});
+      }
       break;
   }
 }

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "fault/byzantine.hpp"
 #include "fault/rule.hpp"
 #include "runtime/fault_hook.hpp"
 
@@ -20,11 +22,28 @@ namespace mm::fault {
 
 class FaultEngine final : public runtime::FaultInjector {
  public:
-  explicit FaultEngine(std::vector<FaultRule> rules);
+  /// `byz_seed` seeds the dedicated Byzantine-adversary stream (see
+  /// byzantine.hpp); runs with no kGoByzantine rule never draw from it, so
+  /// the default keeps crash-only schedules bit-identical to before.
+  explicit FaultEngine(std::vector<FaultRule> rules,
+                       std::uint64_t byz_seed = 0xb5297a4d94f86f57ULL);
 
   void on_step(runtime::SimRuntime& rt) override;
   void on_send(runtime::SimRuntime& rt, Pid from, Pid to) override;
   void on_reg_write(runtime::SimRuntime& rt, Pid writer, runtime::RegKey key) override;
+
+  // Interposition: delegate to the owned Byzantine adversary.
+  bool on_byz_send(Pid from, Pid to, runtime::Message& m) override {
+    return adversary_.on_byz_send(from, to, m);
+  }
+  void on_byz_reg_write(Pid writer, runtime::RegKey key, std::uint64_t& v) override {
+    adversary_.on_byz_reg_write(writer, key, v);
+  }
+
+  /// The run's Byzantine adversary (populated as kGoByzantine rules fire).
+  /// Also usable as the ThreadRuntime interposer via set_byz_interposer.
+  [[nodiscard]] ByzantineAdversary& adversary() noexcept { return adversary_; }
+  [[nodiscard]] const ByzantineAdversary& adversary() const noexcept { return adversary_; }
 
   /// fired()[i] — whether rules()[i] has triggered in this run.
   [[nodiscard]] const std::vector<bool>& fired() const noexcept { return fired_; }
@@ -38,6 +57,7 @@ class FaultEngine final : public runtime::FaultInjector {
   std::vector<bool> fired_;
   std::vector<std::uint64_t> send_seen_;  ///< per-rule send counter (kOnNthSend)
   bool any_step_rules_ = false;
+  ByzantineAdversary adversary_;
 };
 
 }  // namespace mm::fault

@@ -9,13 +9,18 @@ const char* to_string(Oracle o) noexcept {
     case Oracle::kTermination: return "termination";
     case Oracle::kOmegaStabilizes: return "omega_stabilizes";
     case Oracle::kLinearizable: return "linearizable";
+    case Oracle::kByzAgreement: return "byz_agreement";
+    case Oracle::kByzValidity: return "byz_validity";
+    case Oracle::kByzLinearizable: return "byz_linearizable";
   }
   return "?";
 }
 
 std::optional<Oracle> oracle_from_string(std::string_view s) noexcept {
   for (auto o : {Oracle::kAgreement, Oracle::kValidity, Oracle::kTermination,
-                 Oracle::kOmegaStabilizes, Oracle::kLinearizable})
+                 Oracle::kOmegaStabilizes, Oracle::kLinearizable,
+                 Oracle::kByzAgreement, Oracle::kByzValidity,
+                 Oracle::kByzLinearizable})
     if (s == to_string(o)) return o;
   return std::nullopt;
 }
@@ -55,6 +60,78 @@ std::optional<Violation> check_linearizable(const std::vector<check::RegOp>& his
   const check::LinCheck lc = check::check_swmr_atomic(history, initial);
   if (lc.ok) return std::nullopt;
   return Violation{Oracle::kLinearizable, lc.violation};
+}
+
+std::optional<Violation> check_byz_register(const core::ByzRegisterTrialResult& res,
+                                            std::uint64_t byz_mask,
+                                            const std::vector<Oracle>& armed_oracles) {
+  const std::size_t n = res.histories.size();
+  const auto correct = [&](std::size_t p) {
+    return (byz_mask & (1ULL << p)) == 0 &&
+           (p >= res.crashed.size() || !res.crashed[p]);
+  };
+
+  // Agreement among correct servers: two correct processes may never adopt
+  // different values for the same timestamp. (A Byzantine process can adopt
+  // garbage freely — its log carries no obligation.)
+  if (armed(armed_oracles, Oracle::kByzAgreement)) {
+    for (std::size_t p = 0; p < res.adopted.size(); ++p) {
+      if (!correct(p)) continue;
+      for (std::size_t q = p + 1; q < res.adopted.size(); ++q) {
+        if (!correct(q)) continue;
+        for (const auto& [ts, v] : res.adopted[p]) {
+          const auto it = res.adopted[q].find(ts);
+          if (it != res.adopted[q].end() && it->second != v) {
+            return Violation{Oracle::kByzAgreement,
+                             "p" + std::to_string(p) + " adopted " + std::to_string(v) +
+                                 " but p" + std::to_string(q) + " adopted " +
+                                 std::to_string(it->second) + " for ts " +
+                                 std::to_string(ts)};
+          }
+        }
+      }
+    }
+  }
+
+  // Validity at correct readers: every completed read at a correct process
+  // returns a value the writer's code actually issued (or the initial 0).
+  if (armed(armed_oracles, Oracle::kByzValidity)) {
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!correct(p)) continue;
+      for (const check::RegOp& op : res.histories[p].ops()) {
+        if (op.is_write) continue;
+        if (op.value == 0) continue;
+        bool known = false;
+        for (const std::uint64_t w : res.written)
+          if (w == op.value) { known = true; break; }
+        if (!known) {
+          return Violation{Oracle::kByzValidity,
+                           "read(" + std::to_string(op.value) + ") at p" +
+                               std::to_string(p) + " returned a never-written value"};
+        }
+      }
+    }
+  }
+
+  // Linearizability of the correct processes' merged history. When the
+  // writer itself is Byzantine its writes are excluded, so forged values it
+  // planted at correct readers surface as "read of a never-written value".
+  if (armed(armed_oracles, Oracle::kByzLinearizable)) {
+    check::HistoryRecorder merged;
+    for (std::size_t p = 0; p < n; ++p)
+      if (correct(p)) merged.merge(res.histories[p]);
+    if (auto v = check_linearizable(merged.ops(), 0)) {
+      v->oracle = Oracle::kByzLinearizable;
+      return v;
+    }
+  }
+
+  if (armed(armed_oracles, Oracle::kTermination) && !res.completed) {
+    return Violation{Oracle::kTermination,
+                     "a correct process did not finish its register ops within " +
+                         std::to_string(res.steps_used) + " steps"};
+  }
+  return std::nullopt;
 }
 
 }  // namespace mm::fault

@@ -24,6 +24,11 @@ enum class Oracle : std::uint8_t {
   kTermination,     ///< all correct processes decide within the step budget
   kOmegaStabilizes, ///< Ω converges to one correct leader everywhere (§5)
   kLinearizable,    ///< SWMR register history is atomic (runtime promise)
+  // Byzantine-aware oracles: judged only at *correct* processes (neither
+  // crashed nor Byzantine) — a Byzantine process's outputs have no spec.
+  kByzAgreement,    ///< no two correct servers adopt different values for one ts
+  kByzValidity,     ///< correct readers return only written (or initial) values
+  kByzLinearizable, ///< the correct processes' register history is atomic
 };
 
 [[nodiscard]] const char* to_string(Oracle o) noexcept;
@@ -46,5 +51,15 @@ struct Violation {
 /// Linearizability of a recorded SWMR history via the existing checker.
 [[nodiscard]] std::optional<Violation> check_linearizable(
     const std::vector<check::RegOp>& history, std::uint64_t initial = 0);
+
+/// Evaluate the armed Byzantine-register oracles against one trial result.
+/// `byz_mask` marks the Byzantine pids (bit p, from the run's adversary) —
+/// their adoptions, reads, and liveness are exempt; crashed processes are
+/// exempt from liveness via res.crashed. Order: agreement among correct,
+/// validity at correct readers, linearizability of the correct history,
+/// then termination.
+[[nodiscard]] std::optional<Violation> check_byz_register(
+    const core::ByzRegisterTrialResult& res, std::uint64_t byz_mask,
+    const std::vector<Oracle>& armed);
 
 }  // namespace mm::fault

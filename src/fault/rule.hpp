@@ -40,6 +40,7 @@ enum class Action : std::uint8_t {
   kMemoryWindow,   ///< fail `target`'s host memory for `duration` steps (0 = forever)
   kLinkBurst,      ///< drop/duplicate/delay-spike messages for `duration` steps
   kRevokeTimely,   ///< withdraw the §3 timeliness guarantee
+  kGoByzantine,    ///< corrupt `target` with behaviours `byz_behaviors`
 };
 
 struct FaultRule {
@@ -57,9 +58,14 @@ struct FaultRule {
   Pid target = Pid::none();
   std::uint64_t mask = 0;       ///< kPartition side_a bitmask
   Step duration = 0;            ///< window length in steps; 0 = permanent
-  double drop_prob = 0.0;       ///< kLinkBurst per-message drop probability
+  /// kLinkBurst per-message drop probability; doubles as the kGoByzantine
+  /// corruption intensity (0 = always corrupt, mirroring duration 0 = forever).
+  double drop_prob = 0.0;
   double dup_prob = 0.0;        ///< kLinkBurst per-message duplication probability
   Step extra_delay = 0;         ///< kLinkBurst max extra delay per message
+  /// kGoByzantine behaviour bits (fault/byzantine.hpp: kByzEquivocate | ...).
+  std::uint32_t byz_behaviors = 0;
+  std::uint64_t byz_silence_mask = 0;  ///< kGoByzantine + kByzSilence destinations
 
   friend bool operator==(const FaultRule&, const FaultRule&) = default;
 };

@@ -88,11 +88,31 @@ void shrink_params(ChaosCase& c, Prober& pr) {
       candidate.rules[i].extra_delay = 0;
       (void)try_keep(c, std::move(candidate), pr);
     }
+    if (c.rules[i].action == Action::kGoByzantine) {
+      // Drop behavior flags one at a time — the surviving set names the
+      // misbehavior the violation actually needs.
+      for (int bit = 0; bit < 8 && pr.evals < pr.max_evals; ++bit) {
+        const std::uint32_t flag = std::uint32_t{1} << bit;
+        if ((c.rules[i].byz_behaviors & flag) == 0) continue;
+        ChaosCase candidate = c;
+        candidate.rules[i].byz_behaviors &= ~flag;
+        (void)try_keep(c, std::move(candidate), pr);
+      }
+    }
   }
-  // Fewer baseline crashes make the schedule carry the whole repro.
+  // Fewer baseline crashes make the schedule carry the whole repro. (For
+  // Byzantine-register cases f is the configured tolerance: lowering it only
+  // tightens the legal envelope, so a smaller still-failing f is fair game.)
   while (c.f > 0 && pr.evals < pr.max_evals) {
     ChaosCase candidate = c;
     candidate.f /= 2;
+    if (!try_keep(c, std::move(candidate), pr)) break;
+  }
+  // Fewer writes shorten a Byzantine-register repro's history.
+  while (c.kind == CaseKind::kByzRegister && c.byz_writes > 1 &&
+         pr.evals < pr.max_evals) {
+    ChaosCase candidate = c;
+    candidate.byz_writes /= 2;
     if (!try_keep(c, std::move(candidate), pr)) break;
   }
 }

@@ -78,6 +78,14 @@ struct SimConfig {
   /// Empty vector = no crashes.
   std::vector<std::optional<Step>> crash_at;
 
+  /// byzantine[p] != 0 declares p Byzantine for the run. The flag is
+  /// declarative — behaviour comes from the installed ByzInterposer (see
+  /// src/fault/byzantine.hpp) — but validate() uses it to reject incoherent
+  /// plans: a process cannot be both Byzantine and in the crash plan (the
+  /// Byzantine adversary subsumes crashing; count it once against f), and
+  /// the set obviously cannot exceed n. Empty vector = no Byzantine procs.
+  std::vector<std::uint8_t> byzantine;
+
   /// memory_fail_at[p]: global step at which the shared memory hosted at p
   /// fails — every later access to a register owned by p throws
   /// MemoryFailure (§6's partial-memory-failure model; unavailability, not
@@ -173,6 +181,14 @@ inline void SimConfig::validate() const {
       throw ConfigError{std::string{what} + " must be empty or have exactly n entries"};
   };
   check_arity(crash_at, "crash_at");
+  check_arity(byzantine, "byzantine");
+  if (!byzantine.empty() && !crash_at.empty()) {
+    for (std::size_t p = 0; p < procs; ++p)
+      if (byzantine[p] != 0 && crash_at[p].has_value())
+        throw ConfigError{"byzantine set overlaps the crash plan at p" +
+                          std::to_string(p) + ": a Byzantine process already "
+                          "subsumes crashing — count it once against f"};
+  }
   check_arity(memory_fail_at, "memory_fail_at");
   check_arity(memory_recover_at, "memory_recover_at");
   check_arity(sched_weight, "sched_weight");

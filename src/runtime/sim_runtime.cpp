@@ -780,6 +780,7 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
   MM_ASSERT(to.index() < config_.n());
   if constexpr (Parted) {
     Lp& lp = *lp_by_pid_[from.index()];
+    bool deliver = true;
     if (lp.injector != nullptr) [[unlikely]] {
       // The hook may fire actuators and read now(); under the thread backend
       // this call runs on the process's own thread, so bind the LP context
@@ -787,11 +788,16 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
       const PartCtx saved = tl_part_;
       tl_part_ = PartCtx{this, &lp.clock, &lp};
       lp.injector->on_send(*this, from, to);
+      deliver = lp.injector->on_byz_send(from, to, m);
       tl_part_ = saved;
     }
     if constexpr (Recording) lp.scratch.footprint.add_send(to);
     ++lp.scalars.msgs_sent;
     ++metrics_.sends_by_proc[from.index()];
+    if (!deliver) [[unlikely]] {  // Byzantine selective silence
+      ++lp.scalars.msgs_dropped;
+      return;
+    }
     // Per-sender streams (a global stream's draw order would depend on the
     // LP interleaving); the burst window lives on the sender's local clock.
     Rng& lrng = part_->link_rng_of[from.index()];
@@ -820,11 +826,19 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
                    std::move(m));
     return;
   } else {
-    if (injector_ != nullptr) [[unlikely]]
+    bool deliver = true;
+    if (injector_ != nullptr) [[unlikely]] {
       injector_->on_send(*this, from, to);
+      deliver = injector_->on_byz_send(from, to, m);
+    }
     if constexpr (Recording) scratch_.footprint.add_send(to);
     ++metrics_.msgs_sent;
     ++metrics_.sends_by_proc[from.index()];
+    if (!deliver) [[unlikely]] {  // Byzantine selective silence
+      ++metrics_.msgs_dropped;
+      trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
+      return;
+    }
     if (config_.link_type == LinkType::kFairLossy && link_rng_.bernoulli(config_.drop_prob)) {
       ++metrics_.msgs_dropped;
       trace_event(from, TraceEvent::Kind::kDrop, to.value(), m.kind);
@@ -1002,6 +1016,7 @@ void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
       const PartCtx saved = tl_part_;
       tl_part_ = PartCtx{this, &lp.clock, &lp};
       lp.injector->on_reg_write(*this, self, sh.keys[li]);
+      lp.injector->on_byz_reg_write(self, sh.keys[li], v);
       tl_part_ = saved;
     }
     parted_check_access(self, r);
@@ -1017,8 +1032,10 @@ void SimRuntime::env_write(Pid self, RegId r, std::uint64_t v) {
     sh.values[li] = v;
     return;
   } else {
-    if (injector_ != nullptr) [[unlikely]]
+    if (injector_ != nullptr) [[unlikely]] {
       injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
+      injector_->on_byz_reg_write(self, reg_keys_[r.index()], v);
+    }
     check_register_access(self, r);
     check_memory_alive(r);
     ++metrics_.reg_writes;
@@ -1049,6 +1066,7 @@ std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
       const PartCtx saved = tl_part_;
       tl_part_ = PartCtx{this, &lp.clock, &lp};
       lp.injector->on_reg_write(*this, self, sh.keys[li]);
+      lp.injector->on_byz_reg_write(self, sh.keys[li], desired);
       tl_part_ = saved;
     }
     parted_check_access(self, r);
@@ -1063,8 +1081,10 @@ std::uint64_t SimRuntime::env_cas(Pid self, RegId r, std::uint64_t expected,
     if (old == expected) sh.values[li] = desired;
     return old;
   } else {
-    if (injector_ != nullptr) [[unlikely]]
+    if (injector_ != nullptr) [[unlikely]] {
       injector_->on_reg_write(*this, self, reg_keys_[r.index()]);
+      injector_->on_byz_reg_write(self, reg_keys_[r.index()], desired);
+    }
     check_register_access(self, r);
     check_memory_alive(r);
     ++metrics_.reg_cas_ops;

@@ -16,6 +16,10 @@ void ThreadEnv::send(Pid to, Message m) {
   MM_ASSERT(to.index() < rt_->config_.n());
   rt_->counters_.msgs_sent.fetch_add(1, std::memory_order_relaxed);
   rt_->per_proc_[self_.index()]->sends.fetch_add(1, std::memory_order_relaxed);
+  if (rt_->byz_ != nullptr && !rt_->byz_->on_byz_send(self_, to, m)) {
+    rt_->counters_.msgs_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;  // Byzantine selective silence
+  }
   if (rt_->config_.link_type == LinkType::kFairLossy &&
       rng_.bernoulli(rt_->config_.drop_prob)) {
     rt_->counters_.msgs_dropped.fetch_add(1, std::memory_order_relaxed);
@@ -46,6 +50,7 @@ RegId ThreadEnv::reg(RegKey key) {
       rt_->reg_values_.emplace_back(0);
       rt_->reg_owner_.push_back(key.owner());
       rt_->reg_global_.push_back(key.is_global());
+      rt_->reg_keys_.push_back(key);
       it = rt_->reg_index_.emplace(key, idx).first;
     }
     const RegId r{it->second};
@@ -68,6 +73,7 @@ std::uint64_t ThreadEnv::read(RegId r) {
 }
 
 void ThreadEnv::write(RegId r, std::uint64_t v) {
+  if (rt_->byz_ != nullptr) rt_->byz_->on_byz_reg_write(self_, rt_->reg_keys_[r.index()], v);
   rt_->check_memory_alive(r);
   rt_->counters_.reg_writes.fetch_add(1, std::memory_order_relaxed);
   auto& pc = *rt_->per_proc_[self_.index()];
@@ -81,6 +87,7 @@ void ThreadEnv::write(RegId r, std::uint64_t v) {
 }
 
 std::uint64_t ThreadEnv::cas(RegId r, std::uint64_t expected, std::uint64_t desired) {
+  if (rt_->byz_ != nullptr) rt_->byz_->on_byz_reg_write(self_, rt_->reg_keys_[r.index()], desired);
   rt_->check_memory_alive(r);
   rt_->counters_.reg_cas_ops.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t e = expected;

@@ -15,9 +15,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 #include "runtime/env.hpp"
+#include "runtime/fault_hook.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sim_config.hpp"
 
@@ -88,6 +90,16 @@ class ThreadRuntime {
   /// crash(p) — the process may keep running.
   void fail_memory(Pid host);
 
+  /// Install a Byzantine interposer (non-owning; must outlive the run) whose
+  /// hooks run on every send and register mutation. Must be set before
+  /// start(); hooks are invoked concurrently from the process threads, so
+  /// the interposer must lock its own state. Null (the default) keeps the
+  /// data path untouched.
+  void set_byz_interposer(ByzInterposer* byz) {
+    MM_ASSERT_MSG(!started_, "set_byz_interposer after start");
+    byz_ = byz;
+  }
+
   [[nodiscard]] bool finished(Pid p) const;
   [[nodiscard]] Metrics metrics_snapshot() const;
   void rethrow_process_error() const;
@@ -138,6 +150,9 @@ class ThreadRuntime {
   mutable std::deque<std::atomic<std::uint64_t>> reg_values_;
   std::vector<Pid> reg_owner_;
   std::vector<bool> reg_global_;
+  std::deque<RegKey> reg_keys_;  ///< creation-order keys, for interposer hooks
+
+  ByzInterposer* byz_ = nullptr;
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<std::atomic<bool>>> memory_failed_;  ///< per host

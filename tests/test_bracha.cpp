@@ -8,6 +8,8 @@
 
 #include "core/bracha.hpp"
 #include "core/tags.hpp"
+#include "fault/engine.hpp"
+#include "fault/rule.hpp"
 #include "graph/generators.hpp"
 #include "net/broadcast.hpp"
 #include "runtime/sim_runtime.hpp"
@@ -176,6 +178,104 @@ TEST(Bracha, ForgedInitialFromNonSenderIgnored) {
   for (std::uint32_t p = 0; p < kN; ++p) {
     if (p == 1) continue;
     EXPECT_FALSE(delivered[p].has_value()) << "forged INITIAL caused delivery";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-engine grids: Bracha under the declarative fault schedule
+// ---------------------------------------------------------------------------
+
+/// Runs n = 7, f = 2 Bracha (sender p0 broadcasts 42) under one fault
+/// schedule, with bounded pumping so drop-heavy schedules still terminate.
+/// Returns what each process delivered (nullopt = nothing).
+std::vector<std::optional<std::uint64_t>> bracha_under_schedule(
+    std::uint64_t seed, std::vector<fault::FaultRule> rules, int pump_iters) {
+  constexpr std::size_t kN = 7;
+  SimRuntime rt{net(kN, seed)};
+  fault::FaultEngine eng{std::move(rules)};
+  rt.set_fault_injector(&eng);
+  std::vector<std::optional<std::uint64_t>> delivered(kN);
+  for (std::uint32_t p = 0; p < kN; ++p) {
+    rt.add_process([&delivered, p, pump_iters](Env& env) {
+      BrachaBroadcast bc{{.f = 2, .sender = Pid{0}, .tag = 6}};
+      if (env.self() == Pid{0}) bc.broadcast(env, 42);
+      for (int i = 0; i < pump_iters && !bc.delivered().has_value(); ++i) {
+        (void)bc.pump(env);
+        if (env.stop_requested()) break;
+        env.step();
+      }
+      delivered[p] = bc.delivered();
+    });
+  }
+  EXPECT_TRUE(rt.run_until_all_done(3'000'000));
+  rt.rethrow_process_error();
+  return delivered;
+}
+
+TEST(BrachaFaultGrid, DupAndDelayBurstsPreserveDeliveryEverywhere) {
+  // Duplication and delay are benign for a reliable broadcast: a grid of
+  // dup/delay bursts must leave both safety AND liveness intact.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    for (const Step extra_delay : {8ULL, 40ULL}) {
+      fault::FaultRule burst;
+      burst.trigger = fault::Trigger::kAtStep;
+      burst.count = 3;
+      burst.action = fault::Action::kLinkBurst;
+      burst.duration = 2'000;
+      burst.dup_prob = 0.6;
+      burst.extra_delay = extra_delay;
+      const auto delivered = bracha_under_schedule(seed, {burst}, 60'000);
+      for (std::uint32_t p = 0; p < delivered.size(); ++p) {
+        ASSERT_TRUE(delivered[p].has_value())
+            << "p" << p << " seed=" << seed << " delay=" << extra_delay;
+        EXPECT_EQ(*delivered[p], 42u);
+      }
+    }
+  }
+}
+
+TEST(BrachaFaultGrid, DropBurstsNeverBreakAgreementOrValidity) {
+  // Message loss can legitimately starve delivery (Bracha does not
+  // retransmit), but whatever IS delivered must still be the sender's value,
+  // at every process, for every cell of the drop grid.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 6ULL}) {
+    for (const double drop : {0.3, 0.8}) {
+      fault::FaultRule burst;
+      burst.trigger = fault::Trigger::kAtStep;
+      burst.count = 0;
+      burst.action = fault::Action::kLinkBurst;
+      burst.duration = 1'500;
+      burst.drop_prob = drop;
+      burst.dup_prob = 0.2;
+      const auto delivered = bracha_under_schedule(seed, {burst}, 20'000);
+      for (std::uint32_t p = 0; p < delivered.size(); ++p) {
+        if (delivered[p].has_value()) {
+          EXPECT_EQ(*delivered[p], 42u) << "p" << p << " seed=" << seed
+                                        << " drop=" << drop;
+        }
+      }
+    }
+  }
+}
+
+TEST(BrachaFaultGrid, MinorityCrashesWithinFStillDeliver) {
+  // Crashing f = 2 non-sender processes mid-protocol stays within Bracha's
+  // fault budget: every surviving process must deliver the sender's value.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    std::vector<fault::FaultRule> rules;
+    for (const auto& [target, at] : {std::pair{5u, 30ULL}, std::pair{6u, 90ULL}}) {
+      fault::FaultRule r;
+      r.trigger = fault::Trigger::kAtStep;
+      r.count = at;
+      r.action = fault::Action::kCrash;
+      r.target = Pid{target};
+      rules.push_back(r);
+    }
+    const auto delivered = bracha_under_schedule(seed, std::move(rules), 60'000);
+    for (std::uint32_t p = 0; p < 5; ++p) {
+      ASSERT_TRUE(delivered[p].has_value()) << "p" << p << " seed=" << seed;
+      EXPECT_EQ(*delivered[p], 42u);
+    }
   }
 }
 

@@ -31,7 +31,7 @@ graph::Graph paired_gsm(std::size_t n) {
   return g;
 }
 
-enum class FaultMode { kNone, kCrashPlan, kInjector };
+enum class FaultMode { kNone, kCrashPlan, kInjector, kEmptyInjector };
 
 struct RunResult {
   std::vector<std::uint64_t> sums;
@@ -97,6 +97,17 @@ RunResult run_grid_cell(std::uint32_t k, SimBackend backend, FaultMode mode,
   // schedule on its own LP timeline, and the owner filter in the actuators
   // applies every effect exactly once.
   std::vector<std::unique_ptr<fault::FaultEngine>> engines;
+  if (mode == FaultMode::kEmptyInjector) {
+    // Rule-free engines: the injector (and Byzantine-interposition) hooks are
+    // installed on every partition but must not perturb anything — compared
+    // against the kNone baseline below.
+    std::vector<FaultInjector*> raw;
+    for (std::uint32_t q = 0; q < rt.partitions(); ++q) {
+      engines.push_back(std::make_unique<fault::FaultEngine>(std::vector<fault::FaultRule>{}));
+      raw.push_back(engines.back().get());
+    }
+    rt.set_partition_fault_injectors(raw);
+  }
   if (mode == FaultMode::kInjector) {
     fault::FaultRule burst;
     burst.trigger = fault::Trigger::kAtStep;
@@ -168,6 +179,18 @@ INSTANTIATE_TEST_SUITE_P(Modes, PartitionDiff,
                              default: return "FaultFree";
                            }
                          });
+
+TEST(PartitionDiff, EmptyAdversaryMatchesNoInjectorBitForBit) {
+  // A rule-free FaultEngine per partition (empty Byzantine adversary, byz
+  // interposition hooks live) must reproduce the injector-free trajectory
+  // exactly: same hash, metrics, registers, and per-process sums.
+  const RunResult plain = run_grid_cell(1, SimBackend::kCoroutine, FaultMode::kNone, 42);
+  for (const std::uint32_t k : {1u, 4u}) {
+    const RunResult hooked =
+        run_grid_cell(k, SimBackend::kCoroutine, FaultMode::kEmptyInjector, 42);
+    EXPECT_EQ(hooked, plain) << "partitions=" << k;
+  }
+}
 
 TEST(PartitionDiffJobs, TrajectoryInvariantInMmJobs) {
   const char* old = std::getenv("MM_JOBS");

@@ -1,14 +1,19 @@
 // tools/chaos — randomized fault-schedule campaigns with shrink-and-replay.
 //
 // Subcommands:
-//   chaos campaign [--seed S] [--trials N] [--no-omega] [--assert-termination]
+//   chaos campaign [--seed S] [--trials N] [--no-omega] [--byzantine]
+//                  [--assert-termination] [--expect-violations]
 //                  [--no-shrink] [--max-findings K] [--out DIR]
 //     Generate N random fault-schedule cases, run them across MM_JOBS
-//     workers, and report violations. With --assert-termination the campaign
-//     arms a deliberately false invariant (termination under arbitrary fault
-//     schedules — Theorem 4.3 promises no such thing), so it *will* find
-//     violations; each finding is ddmin-shrunk and written as a JSON repro
-//     to DIR (default '.') as chaos-repro-<i>.json.
+//     workers, and report violations. Every finding is ddmin-shrunk and
+//     written as a JSON repro to DIR (default '.') as chaos-repro-<i>.json.
+//     --byzantine mixes in Byzantine-register cases (kGoByzantine schedules
+//     against the n > 3f register). --assert-termination arms a deliberately
+//     false invariant (termination under arbitrary fault schedules —
+//     Theorem 4.3 promises no such thing), so such a campaign *will* find
+//     violations. A campaign exits 1 whenever it records >= 1 violation;
+//     pass --expect-violations to invert that (exit 0 iff >= 1 violation) for
+//     planted campaigns whose findings are the point.
 //
 //   chaos replay FILE [FILE...]
 //     Re-run repro documents. Exit 0 when every file reproduces the recorded
@@ -37,7 +42,8 @@ using namespace mm::fault;
 int usage() {
   std::fprintf(stderr,
                "usage: chaos campaign [--seed S] [--trials N] [--no-omega]\n"
-               "                      [--assert-termination] [--no-shrink]\n"
+               "                      [--byzantine] [--assert-termination]\n"
+               "                      [--expect-violations] [--no-shrink]\n"
                "                      [--max-findings K] [--out DIR]\n"
                "       chaos replay FILE [FILE...]\n"
                "       chaos show FILE\n");
@@ -56,6 +62,12 @@ void describe(const ChaosCase& c, const std::optional<Violation>& v) {
   if (c.kind == CaseKind::kConsensus) {
     std::printf("  consensus: algo=%s topo=%s n=%zu f=%zu seed=%llu budget=%llu\n",
                 core::to_string(c.algo), to_string(c.topology), c.n, c.f,
+                static_cast<unsigned long long>(c.seed),
+                static_cast<unsigned long long>(c.budget));
+  } else if (c.kind == CaseKind::kByzRegister) {
+    std::printf("  byz_register: topo=%s n=%zu f=%zu mode=%s writes=%zu seed=%llu budget=%llu\n",
+                to_string(c.topology), c.n, c.f,
+                c.byz_hybrid ? "hybrid" : "message", c.byz_writes,
                 static_cast<unsigned long long>(c.seed),
                 static_cast<unsigned long long>(c.budget));
   } else {
@@ -78,6 +90,9 @@ void describe(const ChaosCase& c, const std::optional<Violation>& v) {
     if (r.action == Action::kLinkBurst)
       std::printf(" drop=%.2f dup=%.2f delay+%llu", r.drop_prob, r.dup_prob,
                   static_cast<unsigned long long>(r.extra_delay));
+    if (r.action == Action::kGoByzantine)
+      std::printf(" behaviors=0x%x silence=0x%llx", r.byz_behaviors,
+                  static_cast<unsigned long long>(r.byz_silence_mask));
     std::printf("\n");
   }
   if (v) std::printf("  recorded violation: %s — %s\n", to_string(v->oracle), v->detail.c_str());
@@ -87,6 +102,7 @@ int cmd_campaign(int argc, char** argv) {
   CampaignConfig cfg;
   cfg.seed = 20260807;
   std::string out_dir = ".";
+  bool expect_violations = false;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -96,17 +112,21 @@ int cmd_campaign(int argc, char** argv) {
     if (a == "--seed") cfg.seed = std::strtoull(next(), nullptr, 10);
     else if (a == "--trials") cfg.trials = std::strtoull(next(), nullptr, 10);
     else if (a == "--no-omega") cfg.include_omega = false;
+    else if (a == "--byzantine") cfg.include_byzantine = true;
     else if (a == "--assert-termination") cfg.assert_termination = true;
+    else if (a == "--expect-violations") expect_violations = true;
     else if (a == "--no-shrink") cfg.shrink_findings = false;
     else if (a == "--max-findings") cfg.max_findings = std::strtoull(next(), nullptr, 10);
     else if (a == "--out") out_dir = next();
     else return usage();
   }
 
-  std::printf("chaos campaign: seed=%llu trials=%llu omega=%s planted-termination=%s\n",
-              static_cast<unsigned long long>(cfg.seed),
-              static_cast<unsigned long long>(cfg.trials),
-              cfg.include_omega ? "yes" : "no", cfg.assert_termination ? "yes" : "no");
+  std::printf(
+      "chaos campaign: seed=%llu trials=%llu omega=%s byzantine=%s planted-termination=%s\n",
+      static_cast<unsigned long long>(cfg.seed),
+      static_cast<unsigned long long>(cfg.trials),
+      cfg.include_omega ? "yes" : "no", cfg.include_byzantine ? "yes" : "no",
+      cfg.assert_termination ? "yes" : "no");
 
   const CampaignResult res = run_campaign(cfg);
   std::printf("ran %llu cases: %llu decided/stabilized, %llu violation(s)\n",
@@ -134,10 +154,18 @@ int cmd_campaign(int argc, char** argv) {
     std::printf("  wrote %s\n", path.c_str());
     ++i;
   }
-  // A default campaign (safety oracles only) treats any violation as a real
-  // bug; a planted campaign is expected to find some.
-  if (!cfg.assert_termination && res.violations > 0) return 1;
-  return 0;
+  // Any recorded violation makes the campaign exit 1 — CI wires campaigns as
+  // "findings are bugs". Planted campaigns pass --expect-violations, which
+  // inverts the check: finding nothing then means the injection pipeline
+  // itself regressed.
+  if (expect_violations) {
+    if (res.violations == 0) {
+      std::printf("expected >= 1 violation but the campaign found none\n");
+      return 1;
+    }
+    return 0;
+  }
+  return res.violations > 0 ? 1 : 0;
 }
 
 int cmd_replay(int argc, char** argv) {
