@@ -3,12 +3,20 @@
 #
 # Builds (or reuses) the tools/check driver, then:
 #   1. `check run all` — every clean instance must verify clean and exhaust,
-#      every planted-bug instance must produce its violation;
+#      every planted-bug instance must produce its violation. The corpus now
+#      carries one fault-bearing instance per dependency class, so this leg
+#      covers crash events (hbo3-anycrash, ac4/ac5, crashwin3), head-of-queue
+#      drops (abd4-drop, abd4-drop2, dropval2) and transient partition
+#      toggles (pingpart2, omega2-part);
 #   2. `check diff all` — the differential oracle: naive DFS and DPOR must
 #      reach the same verdict AND the same reachable final-state set on every
 #      DFS-feasible instance, with DPOR using no more replays;
-#   3. a frontier determinism spot check — the parallel frontier at 1 and 4
-#      workers must report byte-identical results.
+#   3. frontier determinism spot checks — the parallel frontier at 1 and 4
+#      workers must report byte-identical results, on a crash instance and on
+#      a partition-toggle instance;
+#   4. `check replay` — the chaos bridge: a recorded chaos repro must
+#      rediscover the same oracle exhaustively, and a clean repro must stay
+#      clean across every fault placement the budget reaches.
 # Wired into CTest under the "explore" label:
 #     ctest -L explore
 #
@@ -42,5 +50,93 @@ if [ "$one" != "$four" ]; then
   exit 1
 fi
 echo "$four"
+
+echo "== frontier determinism: pingpart2 (partition toggles) at 1 vs 4 workers =="
+one=$("$CHECK" run pingpart2 --frontier 2 --jobs 1)
+four=$("$CHECK" run pingpart2 --frontier 2 --jobs 4)
+if [ "$one" != "$four" ]; then
+  echo "FAIL: fault-bearing frontier results differ across worker counts"
+  diff <(echo "$one") <(echo "$four") || true
+  exit 1
+fi
+echo "$four"
+
+echo "== chaos bridge: replay a recorded repro and a clean repro =="
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# A shrunk chaos repro claiming a termination violation: HBO consensus on an
+# edgeless n=3 graph with two explicit crashes. The bridge discards the
+# sampled trigger steps and lets the explorer place both crash events
+# anywhere; the same oracle must be rediscovered exhaustively.
+cat > "$TMP/violation.json" <<'EOF'
+{
+  "format": "mm-chaos-repro",
+  "version": 2,
+  "case": {
+    "kind": "consensus",
+    "seed": 42,
+    "n": 3,
+    "topology": "edgeless",
+    "algo": "hbo",
+    "f": 0,
+    "crash_window": 2000,
+    "max_rounds": 4000,
+    "max_delay": 8,
+    "budget": 120000,
+    "rules": [
+      {"trigger": "at_step", "who": null, "count": 10, "action": "crash",
+       "target": 1, "mask": 0, "duration": 0, "drop_prob": 0.0,
+       "dup_prob": 0.0, "extra_delay": 0, "byz_behaviors": 0,
+       "byz_silence_mask": 0},
+      {"trigger": "at_step", "who": null, "count": 20, "action": "crash",
+       "target": 2, "mask": 0, "duration": 0, "drop_prob": 0.0,
+       "dup_prob": 0.0, "extra_delay": 0, "byz_behaviors": 0,
+       "byz_silence_mask": 0}
+    ],
+    "oracles": ["termination"]
+  },
+  "violation": {
+    "oracle": "termination",
+    "detail": "p0 never decided within the step budget"
+  }
+}
+EOF
+
+# The same envelope with no recorded violation: a transient partition window
+# over a complete n=2 graph. Budget-capped: every placement the cap reaches
+# must be clean (full exhaustion of live HBO runs is the corpus's job).
+cat > "$TMP/clean.json" <<'EOF'
+{
+  "format": "mm-chaos-repro",
+  "version": 2,
+  "case": {
+    "kind": "consensus",
+    "seed": 42,
+    "n": 2,
+    "topology": "complete",
+    "algo": "hbo",
+    "f": 0,
+    "crash_window": 2000,
+    "max_rounds": 4000,
+    "max_delay": 8,
+    "budget": 120000,
+    "rules": [
+      {"trigger": "at_step", "who": null, "count": 25, "action": "partition",
+       "target": null, "mask": 1, "duration": 200, "drop_prob": 0.0,
+       "dup_prob": 0.0, "extra_delay": 0, "byz_behaviors": 0,
+       "byz_silence_mask": 0},
+      {"trigger": "at_step", "who": null, "count": 300,
+       "action": "heal_partition", "target": null, "mask": 0, "duration": 0,
+       "drop_prob": 0.0, "dup_prob": 0.0, "extra_delay": 0,
+       "byz_behaviors": 0, "byz_silence_mask": 0}
+    ],
+    "oracles": ["agreement", "validity"]
+  }
+}
+EOF
+
+"$CHECK" replay "$TMP/violation.json"
+"$CHECK" replay "$TMP/clean.json" --max-runs 2000
 
 echo "explore smoke OK"

@@ -22,9 +22,17 @@ using runtime::StepFootprint;
 void validate_explorable(const SimConfig& config) {
   if (config.n() > 64)
     throw ConfigError{"explorer requires n <= 64 (process sets are 64-bit masks)"};
+  for (const auto b : config.byzantine)
+    if (b != 0)
+      throw ConfigError{"explorer does not support Byzantine processes: adversary "
+                        "interposition has no dependency class in "
+                        "footprints_dependent yet (sample it with chaos campaigns "
+                        "instead)"};
   if (config.link_type != runtime::LinkType::kReliable)
     throw ConfigError{"explorer requires reliable links: lossy links draw from the "
-                      "link stream in send order, entangling independent sends"};
+                      "link stream in send order, entangling independent sends. "
+                      "Bounded adversarial loss is explorable through "
+                      "explore_faults.drop_budget"};
   if (config.min_delay != config.max_delay || config.max_delay > 1)
     throw ConfigError{"explorer requires a fixed message delay of 0 or 1 "
                       "(min_delay == max_delay <= 1): variable delays consume link "
@@ -32,17 +40,20 @@ void validate_explorable(const SimConfig& config) {
                       "commutation of a send with an unrelated step (the relative "
                       "delay left after the pair differs between orders)"};
   if (config.partition.has_value())
-    throw ConfigError{"explorer does not support partitions (delivery windows make "
-                      "every send clock-dependent)"};
+    throw ConfigError{"explorer does not support clock-indexed partition windows "
+                      "(delivery re-draws make every crossing send clock-"
+                      "dependent); use explore_faults.partition_mask, whose "
+                      "toggles the explorer schedules itself"};
   for (const auto& f : config.memory_fail_at)
     if (f.has_value())
       throw ConfigError{"explorer does not support memory-failure plans (windows are "
                         "clock-indexed)"};
   for (const auto& c : config.crash_at)
     if (c.has_value() && *c != 0)
-      throw ConfigError{"explorer supports crashes only at step 0 (initially-dead "
-                        "processes): a crash at step t makes every step before t "
-                        "dependent on the clock"};
+      throw ConfigError{"explorer supports crash plans only at step 0 (initially-"
+                        "dead processes): a crash at step t makes every step before "
+                        "t dependent on the clock. For a crash at an explorer-"
+                        "chosen step, list the process in explore_faults.crashes"};
 }
 
 namespace {
@@ -209,6 +220,17 @@ class Walker {
     }
     ++result_.runs;
     race_scan(pruned_agg);
+    if (pseudo_mask_ != 0 && !stack_.empty()) {
+      // Terminal fault placements: a fault still enabled past its last
+      // dependent step never meets the race scan, yet firing it still
+      // changes the final state (budget, toggle flags, queue contents), so
+      // the final-state set — and any oracle reading metrics — would
+      // diverge from the DFS baseline without this. Demand every fault
+      // enabled at the attempt's last decision as a sibling branch there;
+      // placements at earlier independent positions commute into this one.
+      Node& last = stack_.back();
+      if (!last.forced) last.backtrack_mask |= last.enabled_mask & pseudo_mask_;
+    }
     rt_ = nullptr;
   }
 
@@ -394,6 +416,13 @@ class Walker {
     std::vector<std::ptrdiff_t> last_send(n_procs, -1);
     std::vector<std::ptrdiff_t> last_drain(n_procs, -1);
     std::vector<std::vector<std::ptrdiff_t>> sends_since_drain(n_procs);
+    // Fault pseudo-steps. Drops chain like writes (every drop depends on the
+    // previous one through the shared budget), so the latest suffices; a
+    // crash is covered by the target's program order plus the send chain to
+    // it; toggles are at most two per run and get paired directly.
+    std::vector<std::ptrdiff_t> last_crash(n_procs, -1);
+    std::ptrdiff_t last_drop = -1;
+    std::vector<std::ptrdiff_t> toggles;
     std::vector<std::ptrdiff_t> cands;
 
     for (std::size_t k = 0; k < steps.size(); ++k) {
@@ -420,9 +449,38 @@ class Walker {
         for (const Pid d : fp.send_to) {
           if (last_send[d.index()] >= 0) cands.push_back(last_send[d.index()]);
           if (last_drain[d.index()] >= 0) cands.push_back(last_drain[d.index()]);
+          if (last_crash[d.index()] >= 0) cands.push_back(last_crash[d.index()]);
         }
         if (fp.drained)
           cands.insert(cands.end(), sends_since_drain[p].begin(), sends_since_drain[p].end());
+        if (fp.crash_mask != 0) {
+          // Program order covers every earlier step of the target; the
+          // send-to-target chain covers every earlier delivery to it.
+          for (std::uint64_t m = fp.crash_mask; m != 0; m &= m - 1) {
+            const auto t = static_cast<std::size_t>(std::countr_zero(m));
+            if (prog_pred[t] >= 0) cands.push_back(prog_pred[t]);
+            if (last_send[t] >= 0) cands.push_back(last_send[t]);
+          }
+        }
+        if (fp.drop_mask != 0) {
+          if (last_drop >= 0) cands.push_back(last_drop);
+          for (std::uint64_t m = fp.drop_mask; m != 0; m &= m - 1) {
+            const auto d = static_cast<std::size_t>(std::countr_zero(m));
+            if (last_send[d] >= 0) cands.push_back(last_send[d]);
+            if (last_drain[d] >= 0) cands.push_back(last_drain[d]);
+          }
+        }
+        if (fp.part_toggle) {
+          // A toggle fires at most once per run: pair it against every
+          // earlier step directly instead of growing the index structures.
+          for (std::size_t j = 0; j < k; ++j)
+            if (footprints_dependent(*steps[j].fp, fp))
+              cands.push_back(static_cast<std::ptrdiff_t>(j));
+        } else {
+          for (const std::ptrdiff_t t : toggles)
+            if (footprints_dependent(*steps[static_cast<std::size_t>(t)].fp, fp))
+              cands.push_back(t);
+        }
       }
       std::sort(cands.begin(), cands.end());
       cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
@@ -437,6 +495,29 @@ class Walker {
         if (!clock_leq(clocks[static_cast<std::size_t>(j)], clk)) flag_race(pre, fp.pid);
         clock_join(clk, clocks[static_cast<std::size_t>(j)]);
       }
+      // Enabled-and-dependent clause for fault pseudo-processes. The pair
+      // scan above only sees EXECUTED steps, which suffices for real
+      // processes (they run to completion in every attempt) but not for a
+      // fault that never fired: it leaves no footprint to race with, and a
+      // "full" verdict would silently exclude it. Its static footprint is
+      // known without executing it, so probe every fault enabled at this
+      // decision against the step taken here (Flanagan–Godefroid's "enabled
+      // and dependent" persistent-set clause). Firing slides forward across
+      // independent steps, and enablement only ever ends at a dependent
+      // step or at run end (terminal placements are demanded in attempt()),
+      // so anchoring at dependent steps covers every distinct placement.
+      if (pseudo_mask_ != 0 && steps[k].node >= 0) {
+        const Node& nd = stack_[static_cast<std::size_t>(steps[k].node)];
+        std::uint64_t pm = nd.enabled_mask & pseudo_mask_;
+        while (pm != 0) {
+          const auto q = static_cast<std::uint32_t>(std::countr_zero(pm));
+          pm &= pm - 1;
+          if (q == fp.pid.index()) continue;
+          if (footprints_dependent(fault_fps_[q - n_real_], fp))
+            flag_race(steps[k], Pid{q});
+        }
+      }
+
       clk[p] = ++own_count[p];
       clocks[k] = std::move(clk);
       prog_pred[p] = static_cast<std::ptrdiff_t>(k);
@@ -454,6 +535,21 @@ class Walker {
         last_drain[p] = static_cast<std::ptrdiff_t>(k);
         sends_since_drain[p].clear();
       }
+      if (fp.crash_mask != 0)
+        for (std::uint64_t m = fp.crash_mask; m != 0; m &= m - 1)
+          last_crash[static_cast<std::size_t>(std::countr_zero(m))] =
+              static_cast<std::ptrdiff_t>(k);
+      if (fp.drop_mask != 0) {
+        last_drop = static_cast<std::ptrdiff_t>(k);
+        // A drop is a send-shaped AND drain-shaped touch of d's queue: index
+        // it like a send so later sends/drains to d candidate it.
+        for (std::uint64_t m = fp.drop_mask; m != 0; m &= m - 1) {
+          const auto d = static_cast<std::size_t>(std::countr_zero(m));
+          last_send[d] = static_cast<std::ptrdiff_t>(k);
+          sends_since_drain[d].push_back(static_cast<std::ptrdiff_t>(k));
+        }
+      }
+      if (fp.part_toggle) toggles.push_back(static_cast<std::ptrdiff_t>(k));
     }
 
     if (pruned_agg != nullptr) {
@@ -526,6 +622,18 @@ class Walker {
  public:
   void set_procs_hint(std::size_t n) { n_procs_ = n; }
 
+  /// Static footprints of the fault pseudo-processes, indexed by pseudo
+  /// offset (pid = n_real + offset). What a fault WOULD touch is known
+  /// without executing it — that is what lets the race scan schedule
+  /// never-fired faults (see the enabled-and-dependent clause below).
+  void set_fault_model(std::size_t n_real, std::vector<StepFootprint> fault_fps) {
+    n_real_ = n_real;
+    fault_fps_ = std::move(fault_fps);
+    pseudo_mask_ = 0;
+    for (std::size_t j = 0; j < fault_fps_.size(); ++j)
+      pseudo_mask_ |= 1ULL << (n_real_ + j);
+  }
+
  private:
   const MakeFn& make_;
   const VerifyFn& verify_;
@@ -549,6 +657,9 @@ class Walker {
   std::size_t pending_index_ = 0;
   Pid pending_pid_ = Pid::none();
   std::size_t n_procs_ = 0;
+  std::size_t n_real_ = 0;
+  std::vector<StepFootprint> fault_fps_;  ///< static, by pseudo offset
+  std::uint64_t pseudo_mask_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -652,15 +763,42 @@ std::vector<std::vector<Pid>> expand_frontier(const MakeFn& make, const DporOpti
 ExploreResult explore_dpor(const MakeFn& make, const VerifyFn& verify,
                            const DporOptions& options) {
   std::size_t n_procs = 0;
+  std::size_t n_real = 0;
+  std::vector<StepFootprint> fault_fps;
   {
     const auto probe = make();
     validate_explorable(probe->config());
-    n_procs = probe->config().n();
+    // Pseudo-processes (explore_faults) take scheduling slots of their own,
+    // so every per-pid table and mask spans the full schedule width.
+    n_procs = probe->sched_width();
+    n_real = probe->config().n();
+    if (const auto& ef = probe->config().explore_faults; ef.has_value()) {
+      // Static footprints, in SimRuntime's pseudo-pid layout: crash events,
+      // then per-destination drop events, then the two partition toggles.
+      const auto push = [&](auto&& fill) {
+        StepFootprint fp;
+        fp.clear(Pid{static_cast<std::uint32_t>(n_real + fault_fps.size())});
+        fill(fp);
+        fault_fps.push_back(std::move(fp));
+      };
+      for (const Pid c : ef->crashes)
+        push([&](StepFootprint& fp) { fp.crash_mask = 1ULL << c.index(); });
+      if (ef->drop_budget > 0)
+        for (std::size_t d = 0; d < n_real; ++d)
+          push([&](StepFootprint& fp) { fp.drop_mask = 1ULL << d; });
+      if (ef->partition_mask.has_value())
+        for (int t = 0; t < 2; ++t)
+          push([&](StepFootprint& fp) {
+            fp.part_toggle = true;
+            fp.part_mask = *ef->partition_mask;
+          });
+    }
   }
 
   const auto run_task = [&](std::vector<Pid> prefix) {
     Walker w(make, verify, options, std::move(prefix));
     w.set_procs_hint(n_procs);
+    w.set_fault_model(n_real, fault_fps);
     return w.run();
   };
 

@@ -24,13 +24,21 @@
 //
 // Soundness needs a restricted adversary — validate_explorable() enforces
 // it: reliable links, fixed delay <= 1 (longer or variable delays break the
-// commutation of a send with an unrelated step), no partitions or memory
-// failures, crashes only at step 0 (initially-dead processes; a crash at
-// step t would make every step clock-dependent). Within that envelope a
-// finished exploration is a proof over EVERY schedule, reported through the
-// same ExploreResult/Exhaustiveness contract as the DFS baseline — which
-// stays the differential oracle (same verdict, same reachable final-state
-// set, fewer runs).
+// commutation of a send with an unrelated step), no clock-indexed faults
+// (config partitions, memory-failure windows, crash plans past step 0), no
+// Byzantine processes (adversary interposition has no dependency class
+// yet). Faults ARE explorable when expressed as SimConfig::explore_faults:
+// each crash / bounded message drop / partition-window toggle becomes a
+// *pseudo-process* whose one-shot steps the explorer schedules like any
+// other process. A fired fault is a zero-time transition carrying its own
+// footprint dependency class (crash-of-pid, drop-of-message, partition
+// toggle — runtime/footprint.hpp), so the race scan, sleep sets, and state
+// cache handle fault timing with no special cases, and an exhaustive
+// verdict covers every fault placement the plan allows, including "never
+// fires". Within that envelope a finished exploration is a proof over
+// EVERY schedule, reported through the same ExploreResult/Exhaustiveness
+// contract as the DFS baseline — which stays the differential oracle (same
+// verdict, same reachable final-state set, fewer runs).
 #pragma once
 
 #include <cstdint>

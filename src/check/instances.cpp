@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "core/abd.hpp"
 #include "core/hbo.hpp"
 #include "core/omega.hpp"
 #include "graph/generators.hpp"
@@ -16,6 +17,7 @@
 namespace mm::check {
 
 using runtime::Env;
+using runtime::ExploreFaults;
 using runtime::Message;
 using runtime::RegKey;
 using runtime::SimConfig;
@@ -31,6 +33,8 @@ constexpr std::uint8_t kResTag = 0x66;
 constexpr std::uint8_t kAcTag = 0x61;
 constexpr std::uint8_t kCasTag = 0x62;
 constexpr std::uint32_t kPingKind = 0x50;
+constexpr std::uint32_t kValKind = 0x56;
+constexpr std::uint32_t kDoneKind = 0x44;
 constexpr std::uint64_t kHboUndecided = 9;
 
 RegKey res_key(Pid p) { return RegKey::make_global(kResTag, p); }
@@ -350,19 +354,42 @@ Instance make_hbo3_stuck() {
   return in;
 }
 
-Instance make_omega2_steady() {
+/// Round-robin over the REAL runnable prefix. Under explore_faults the
+/// policy list carries fault pseudo-pids after the real pids; a
+/// deterministic warmup/baseline run must never fire those (they belong to
+/// the explorer), so the modulus stops at the first pseudo entry.
+std::size_t real_prefix(const std::vector<Pid>& runnable, std::size_t n) {
+  std::size_t k = 0;
+  while (k < runnable.size() && runnable[k].index() < n) ++k;
+  return k;
+}
+
+Instance make_omega2(std::string name, bool partitioned) {
   constexpr std::uint64_t kTimeout = 8;  // η+1, in iterations
   constexpr int kTotalIters = 16;        // per-process loop bound
   constexpr Step kWarmSteps = 24;        // 12 round-robin iterations each
 
   Instance in;
-  in.name = "omega2-steady";
-  in.description = "Omega (message mech), n=2: after a fixed round-robin "
-                   "stabilization prefix, EVERY schedule of the remaining "
-                   "iterations keeps the leader stable, sends nothing, and "
-                   "writes only through the leader (Theorem 5.1 steady state)";
-  const auto make = []() {
-    auto rt = std::make_unique<SimRuntime>(explorable_config(graph::complete(2), 23));
+  in.name = std::move(name);
+  in.description =
+      partitioned
+          ? "omega2-steady plus an explorer-owned transient partition window: "
+            "the held window is shorter than the suffix's 4 iterations < "
+            "timeout, so EVERY toggle placement keeps the leader stable and "
+            "the steady-state metrics unchanged (Theorem 5.1 under transient "
+            "partitions)"
+          : "Omega (message mech), n=2: after a fixed round-robin "
+            "stabilization prefix, EVERY schedule of the remaining "
+            "iterations keeps the leader stable, sends nothing, and "
+            "writes only through the leader (Theorem 5.1 steady state)";
+  const auto make = [partitioned]() {
+    SimConfig cfg = explorable_config(graph::complete(2), 23);
+    if (partitioned) {
+      ExploreFaults ef;
+      ef.partition_mask = 0b01;  // {p0} | {p1}
+      cfg.explore_faults = ef;
+    }
+    auto rt = std::make_unique<SimRuntime>(cfg);
     rt->set_auto_step_on_shm(false);
     for (std::uint32_t p = 0; p < 2; ++p) {
       (void)p;
@@ -382,8 +409,9 @@ Instance make_omega2_steady() {
     // — strictly less than the timeout, so no schedule can manufacture an
     // accusation and the silence claim is schedule-independent.
     auto turn = std::make_shared<std::size_t>(0);
-    rt->set_schedule_policy(
-        [turn](const std::vector<Pid>& runnable) { return (*turn)++ % runnable.size(); });
+    rt->set_schedule_policy([turn](const std::vector<Pid>& runnable) {
+      return (*turn)++ % real_prefix(runnable, 2);
+    });
     (void)rt->run_steps(kWarmSteps);
     return rt;
   };
@@ -401,14 +429,15 @@ Instance make_omega2_steady() {
   {
     auto rt = make();
     auto turn = std::make_shared<std::size_t>(0);
-    rt->set_schedule_policy(
-        [turn](const std::vector<Pid>& runnable) { return (*turn)++ % runnable.size(); });
+    rt->set_schedule_policy([turn](const std::vector<Pid>& runnable) {
+      return (*turn)++ % real_prefix(runnable, 2);
+    });
     const bool done = rt->run_until_all_done(100'000);
-    MM_ASSERT_MSG(done, "omega2-steady baseline run did not terminate");
+    MM_ASSERT_MSG(done, "omega2 baseline run did not terminate");
     rt->shutdown();
     baseline->metrics = rt->metrics();
     const auto r = published(*rt, 0);
-    MM_ASSERT_MSG(r.has_value(), "omega2-steady baseline published no leader");
+    MM_ASSERT_MSG(r.has_value(), "omega2 baseline published no leader");
     baseline->leader_enc = *r;
   }
 
@@ -439,6 +468,254 @@ Instance make_omega2_steady() {
   return in;
 }
 
+// -- fault-bearing instances (SimConfig::explore_faults) ---------------------
+
+Instance make_hbo3_anycrash() {
+  Instance in;
+  in.name = "hbo3-anycrash";
+  in.description = "HBO consensus, n=3 complete GSM, all alive, inputs "
+                   "{0,1,1}; the explorer owns a crash event for p2 and "
+                   "proves agreement + validity + termination for EVERY "
+                   "crash placement, including 'never crashes' — the "
+                   "configuration E18's chaos campaigns could only sample";
+  in.make = []() {
+    SimConfig cfg = explorable_config(graph::complete(3), 29);
+    ExploreFaults ef;
+    ef.crashes = {Pid{2}};
+    cfg.explore_faults = ef;
+    auto rt = std::make_unique<SimRuntime>(cfg);
+    auto gsm = std::make_shared<graph::Graph>(graph::complete(3));
+    for (std::uint32_t p = 0; p < 3; ++p)
+      rt->add_process([gsm, p](Env& env) {
+        core::HboConsensus::Config hc;
+        hc.gsm = gsm.get();
+        hc.impl = shm::ConsensusImpl::kCas;
+        hc.max_rounds = 8;
+        core::HboConsensus hbo(hc, p == 0 ? 0 : 1);
+        hbo.run(env);
+        publish(env, hbo.decision() < 0
+                         ? kHboUndecided
+                         : 1 + static_cast<std::uint64_t>(hbo.decision()));
+      });
+    return rt;
+  };
+  in.check = hbo_check;
+  in.dpor.idle_slice_collapse = true;
+  in.dpor.max_steps_per_run = 20'000;
+  in.dfs_feasible = false;  // three live HBO runs: far beyond the DFS budget
+  in.dfs.max_runs = 20'000;
+  return in;
+}
+
+Instance make_abd4_drop(std::string name, std::uint32_t drop_budget) {
+  Instance in;
+  in.name = std::move(name);
+  in.description = "ABD atomic register, n=4, writer performs one quorum "
+                   "write of 7 while three servers help; the explorer owns "
+                   "a " + std::to_string(drop_budget) + "-message drop "
+                   "budget and proves every completed schedule lands the "
+                   "write (placements chosen adversarially, including "
+                   "none; schedules where drops starve the quorum livelock "
+                   "and are pruned as cycles, so safety is what's checked). "
+                   "The writer's read-back is omitted on purpose: three "
+                   "quorum phases push the trace space past any budget "
+                   "(docs/EXPERIMENTS.md E19)";
+  in.make = [drop_budget]() {
+    SimConfig cfg = explorable_config(graph::complete(4), 43);
+    ExploreFaults ef;
+    ef.drop_budget = drop_budget;
+    cfg.explore_faults = ef;
+    auto rt = std::make_unique<SimRuntime>(cfg);
+    rt->add_process([](Env& env) {
+      core::AbdRegister abd({Pid{0}, 0});
+      publish(env, abd.write(env, 7) ? 7 : 1);
+    });
+    for (std::uint32_t p = 1; p < 4; ++p) {
+      (void)p;
+      rt->add_process([](Env& env) {
+        core::AbdRegister abd({Pid{0}, 0});
+        // Serve until the writer publishes its verdict, then retire (keeps
+        // every completed schedule finite for the termination check).
+        const RegId done = env.reg(res_key(Pid{0}));
+        while (env.read(done) == 0) {
+          abd.serve(env);
+          env.step();
+        }
+      });
+    }
+    return rt;
+  };
+  in.check = [](const SimRuntime& rt) -> std::optional<std::string> {
+    for (std::uint32_t p = 0; p < 4; ++p)
+      if (!rt.finished(Pid{p}))
+        return "p" + std::to_string(p) + " did not finish: the drops "
+               "stalled a quorum yet the schedule escaped the cycle prune";
+    const auto r = published(rt, 0);
+    if (!r.has_value() || *r != 7)
+      return "quorum write failed: the writer published " +
+             (r ? std::to_string(*r) : std::string{"nothing"}) +
+             " instead of acking its write";
+    return std::nullopt;
+  };
+  in.dpor.idle_slice_collapse = true;  // serve loops spin between messages
+  in.dpor.max_steps_per_run = 20'000;
+  in.dfs_feasible = false;  // serve spins never end without the cycle prune
+  in.dfs.max_runs = 200;
+  in.dfs.max_steps_per_run = 400;
+  return in;
+}
+
+Instance make_pingpart2() {
+  Instance in;
+  in.name = "pingpart2";
+  in.description = "pingpong2 across an explorer-owned transient partition "
+                   "window ({p0}|{p1}): toggles may land anywhere around the "
+                   "ping; held messages re-inject with their original stamps, "
+                   "so every completed schedule still delivers the payload";
+  in.make = []() {
+    SimConfig cfg = explorable_config(graph::complete(2), 41);
+    ExploreFaults ef;
+    ef.partition_mask = 0b01;  // {p0} | {p1}
+    cfg.explore_faults = ef;
+    auto rt = std::make_unique<SimRuntime>(cfg);
+    rt->add_process([](Env& env) {
+      Message m;
+      m.kind = kPingKind;
+      m.value = 42;
+      env.send(Pid{1}, m);
+    });
+    rt->add_process([](Env& env) {
+      std::vector<Message> msgs;
+      for (;;) {
+        env.drain_inbox(msgs);
+        for (const Message& m : msgs)
+          if (m.kind == kPingKind) {
+            publish(env, m.value);
+            return;
+          }
+        env.step();
+      }
+    });
+    return rt;
+  };
+  in.check = [](const SimRuntime& rt) -> std::optional<std::string> {
+    if (!rt.all_done())
+      return "receiver never got the ping within the step budget (a "
+             "window-straddling schedule escaped the cycle prune)";
+    const auto r = published(rt, 1);
+    if (!r.has_value() || *r != 42)
+      return "receiver published " + (r ? std::to_string(*r) : std::string{"nothing"}) +
+             " instead of the ping payload";
+    return std::nullopt;
+  };
+  in.dpor.idle_slice_collapse = true;
+  in.dpor.max_steps_per_run = 2'000;
+  in.dfs_feasible = false;  // open-window starvation spins never end under DFS
+  in.dfs.max_runs = 200;
+  in.dfs.max_steps_per_run = 200;
+  return in;
+}
+
+Instance make_crashwin3() {
+  Instance in;
+  in.name = "crashwin3";
+  in.description = "PLANTED BUG: p2 publishes a provisional answer and "
+                   "corrects it one step later; an explorer-placed crash "
+                   "inside that two-step window freezes the provisional "
+                   "value — a crash-timing bug only crash-at-step-k "
+                   "exploration (not a fixed crash plan) can catch";
+  in.make = []() {
+    SimConfig cfg = explorable_config(graph::complete(3), 37);
+    ExploreFaults ef;
+    ef.crashes = {Pid{2}};
+    cfg.explore_faults = ef;
+    auto rt = std::make_unique<SimRuntime>(cfg);
+    for (int p = 0; p < 2; ++p) {
+      (void)p;
+      rt->add_process([](Env& env) { publish(env, 2); });
+    }
+    rt->add_process([](Env& env) {
+      publish(env, 1);  // BUG (deliberate): provisional answer made visible
+      publish(env, 2);  // corrected one write later
+    });
+    return rt;
+  };
+  in.check = [](const SimRuntime& rt) -> std::optional<std::string> {
+    // Crashed processes are NOT skipped: what a crash leaves visible is the
+    // point. Only a process that never published is vacuously clean.
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto r = published(rt, p);
+      if (r.has_value() && *r != 2)
+        return "agreement violated: p" + std::to_string(p) + " left value " +
+               std::to_string(*r) +
+               " visible (crashed inside its correction window)";
+    }
+    return std::nullopt;
+  };
+  in.expect_violation = true;
+  in.dfs.collect_final_states = true;
+  return in;
+}
+
+Instance make_dropval2() {
+  Instance in;
+  in.name = "dropval2";
+  in.description = "PLANTED BUG: the sender streams VALUE then DONE over a "
+                   "reliable FIFO link and the receiver trusts any "
+                   "DONE-terminated stream; one explorer-placed drop erases "
+                   "VALUE at the queue head and the receiver publishes its "
+                   "default — a loss-masked validity bug";
+  in.make = []() {
+    SimConfig cfg = explorable_config(graph::complete(2), 31);
+    ExploreFaults ef;
+    ef.drop_budget = 1;
+    cfg.explore_faults = ef;
+    auto rt = std::make_unique<SimRuntime>(cfg);
+    rt->add_process([](Env& env) {
+      Message v;
+      v.kind = kValKind;
+      v.value = 7;
+      env.send(Pid{1}, v);
+      Message d;
+      d.kind = kDoneKind;
+      env.send(Pid{1}, d);
+    });
+    rt->add_process([](Env& env) {
+      std::uint64_t seen = 99;  // BUG (deliberate): default survives to publish
+      std::vector<Message> msgs;
+      for (;;) {
+        env.drain_inbox(msgs);
+        bool done = false;
+        for (const Message& m : msgs) {
+          if (m.kind == kValKind) seen = m.value;
+          if (m.kind == kDoneKind) done = true;
+        }
+        if (done) {
+          publish(env, seen);
+          return;
+        }
+        env.step();
+      }
+    });
+    return rt;
+  };
+  in.check = [](const SimRuntime& rt) -> std::optional<std::string> {
+    // Liveness is out of scope (a dropped DONE legitimately starves the
+    // receiver); the planted bug is validity of what it does publish.
+    const auto r = published(rt, 1);
+    if (r.has_value() && *r != 7)
+      return "validity violated: receiver accepted a DONE-terminated stream "
+             "that lost its VALUE and published " + std::to_string(*r);
+    return std::nullopt;
+  };
+  in.expect_violation = true;
+  in.dpor.idle_slice_collapse = true;  // dropped-DONE schedules spin forever
+  in.dpor.max_steps_per_run = 2'000;
+  in.dfs.max_runs = 20'000;  // spin branches truncate at the step budget
+  in.dfs.max_steps_per_run = 200;
+  return in;
+}
+
 }  // namespace
 
 const std::vector<Instance>& instances() {
@@ -448,12 +725,21 @@ const std::vector<Instance>& instances() {
     v->push_back(make_pingpong2());
     v->push_back(make_ac("ac2", 2, /*broken=*/false));
     v->push_back(make_ac("ac3", 3, /*broken=*/false));
+    v->push_back(make_ac("ac4", 4, /*broken=*/false));
+    v->push_back(make_ac("ac5", 5, /*broken=*/false));
     v->push_back(make_cas2());
     v->push_back(make_hbo3_crash());
-    v->push_back(make_omega2_steady());
+    v->push_back(make_hbo3_anycrash());
+    v->push_back(make_abd4_drop("abd4-drop", 1));
+    v->push_back(make_abd4_drop("abd4-drop2", 2));
+    v->push_back(make_pingpart2());
+    v->push_back(make_omega2("omega2-steady", /*partitioned=*/false));
+    v->push_back(make_omega2("omega2-part", /*partitioned=*/true));
     v->push_back(make_ac("ac2-broken", 2, /*broken=*/true));
     v->push_back(make_ac("ac3-broken", 3, /*broken=*/true));
     v->push_back(make_hbo3_stuck());
+    v->push_back(make_crashwin3());
+    v->push_back(make_dropval2());
     return v;
   }();
   return *kInstances;

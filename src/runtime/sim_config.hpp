@@ -53,6 +53,40 @@ struct Partition {
 /// RegId and a >64-way shard split never beats trial-level parallelism.
 inline constexpr std::uint32_t kMaxPartitions = 64;
 
+/// Explorer-scheduled fault plan: faults as first-class nondeterministic
+/// choices instead of clock-indexed side effects. Each entry becomes a
+/// *pseudo-process* that the schedule policy (DFS / DPOR, see src/check)
+/// sees appended after the real runnable processes; firing one is a
+/// zero-time transition whose footprint carries a fault dependency class
+/// (runtime/footprint.hpp). The plan is inert without a schedule policy —
+/// randomized runs keep using crash_at / FaultRules.
+///
+/// Pseudo-pid layout, after the n real processes:
+///   [n, n+C)        one one-shot crash event per `crashes` entry
+///   [n+C, n+C+n)    per-destination drop events (present iff drop_budget
+///                   > 0; all draw from the one shared budget)
+///   then            partition-on, partition-off (iff partition_mask set)
+struct ExploreFaults {
+  /// Each listed process gets a crash event the explorer may fire at any
+  /// step (or never) while the process is still parked.
+  std::vector<Pid> crashes;
+
+  /// Total number of in-flight messages the explorer may destroy. A drop
+  /// event for destination d is enabled while the budget is positive and
+  /// d's in-flight queue is nonempty; firing pops the queue head.
+  std::uint32_t drop_budget = 0;
+
+  /// Transient partition window: an on-toggle starts holding messages that
+  /// cross this cut (bit p = side A), an off-toggle re-injects them with
+  /// their original delivery stamps. The explorer places both toggles.
+  std::optional<std::uint64_t> partition_mask;
+
+  [[nodiscard]] std::size_t width(std::size_t n) const noexcept {
+    return crashes.size() + (drop_budget > 0 ? n : 0) +
+           (partition_mask.has_value() ? 2 : 0);
+  }
+};
+
 struct SimConfig {
   /// Shared-memory graph GSM; also fixes n = gsm.size(). Registers named
   /// with owner p are accessible by Sp = {p} ∪ neighbors(p).
@@ -134,6 +168,11 @@ struct SimConfig {
   /// GSM's connected components. Explicit plans must keep every GSM edge
   /// inside one partition (register shards are pinned to their owner's LP).
   std::vector<std::uint32_t> partition_of;
+
+  /// Explorer-scheduled fault plan (see ExploreFaults above). Only honored
+  /// by runs driven through set_schedule_policy; validate() checks the
+  /// structure, check::validate_explorable checks explorer soundness.
+  std::optional<ExploreFaults> explore_faults;
 
   /// Usable stack bytes per process fiber (coroutine backend only);
   /// 0 = Fiber::kDefaultStackBytes. Million-process runs shrink this to keep
@@ -255,6 +294,33 @@ inline void SimConfig::validate() const {
   if (!partitions.has_value() && !partition_of.empty())
     throw ConfigError{"partition_of requires partitions to be set (explicit plans "
                       "opt into partitioned mode; the env default is advisory)"};
+  if (explore_faults.has_value()) {
+    const ExploreFaults& ef = *explore_faults;
+    if (partitions.has_value())
+      throw ConfigError{"explore_faults requires sequential mode (the pseudo-process "
+                        "schedule needs the global runnable set)"};
+    if (procs + ef.width(procs) > 64)
+      throw ConfigError{"explore_faults: n + pseudo-process count must be <= 64 "
+                        "(the explorer packs enabled sets into 64-bit masks)"};
+    for (const Pid p : ef.crashes)
+      if (p.index() >= procs)
+        throw ConfigError{"explore_faults.crashes pid out of range"};
+    for (std::size_t i = 0; i < ef.crashes.size(); ++i)
+      for (std::size_t j = i + 1; j < ef.crashes.size(); ++j)
+        if (ef.crashes[i] == ef.crashes[j])
+          throw ConfigError{"explore_faults.crashes lists p" +
+                            std::to_string(ef.crashes[i].index()) +
+                            " twice (one crash event per process)"};
+    if (ef.partition_mask.has_value()) {
+      const std::uint64_t all = procs >= 64 ? ~0ULL : ((1ULL << procs) - 1);
+      const std::uint64_t side = *ef.partition_mask & all;
+      if (*ef.partition_mask != side)
+        throw ConfigError{"explore_faults.partition_mask has bits >= n"};
+      if (side == 0 || side == all)
+        throw ConfigError{"explore_faults.partition_mask must put at least one "
+                          "process on each side of the cut"};
+    }
+  }
 }
 
 }  // namespace mm::runtime

@@ -159,6 +159,13 @@ SimRuntime::SimRuntime(SimConfig config)
       mem_window_[i].recover_at = *config_.memory_recover_at[i];
     mem_faults_armed_ = true;
   }
+  if (config_.explore_faults.has_value()) {
+    const ExploreFaults& ef = *config_.explore_faults;
+    ef_drop_base_ = ef.crashes.size();
+    ef_part_base_ = ef_drop_base_ + (ef.drop_budget > 0 ? config_.n() : 0);
+    ef_width_ = ef.width(config_.n());
+    ef_drops_left_ = ef.drop_budget;
+  }
   init_partitions();
 }
 
@@ -284,6 +291,89 @@ void SimRuntime::crash_now(Pid p) {
     remove_runnable(p.index());
     trace_event(p, TraceEvent::Kind::kCrash);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer fault plan: faults as pseudo-processes (SimConfig::explore_faults)
+// ---------------------------------------------------------------------------
+
+void SimRuntime::ef_append_enabled(std::vector<Pid>& out) {
+  const ExploreFaults& ef = *config_.explore_faults;
+  const auto base = static_cast<std::uint32_t>(config_.n());
+  for (std::size_t i = 0; i < ef.crashes.size(); ++i)
+    if (runnable(ef.crashes[i].index()))
+      out.push_back(Pid{base + static_cast<std::uint32_t>(i)});
+  if (ef_drops_left_ > 0) {
+    for (std::size_t d = 0; d < config_.n(); ++d)
+      if (!pending_[d].empty())
+        out.push_back(Pid{base + static_cast<std::uint32_t>(ef_drop_base_ + d)});
+  }
+  if (ef.partition_mask.has_value()) {
+    if (!ef_on_fired_)
+      out.push_back(Pid{base + static_cast<std::uint32_t>(ef_part_base_)});
+    else if (!ef_off_fired_)
+      out.push_back(Pid{base + static_cast<std::uint32_t>(ef_part_base_ + 1)});
+  }
+}
+
+void SimRuntime::ef_fire(std::size_t idx) {
+  const ExploreFaults& ef = *config_.explore_faults;
+  StepFootprint* fp = nullptr;
+  if (record_footprints_) [[unlikely]] {
+    fp = &scratch_.footprint;
+    fp->clear(Pid{static_cast<std::uint32_t>(config_.n() + idx)});
+  }
+  if (idx < ef_drop_base_) {  // crash event
+    const std::size_t target = ef.crashes[idx].index();
+    MM_ASSERT_MSG(runnable(target), "crash event fired on a non-parked process");
+    proc_state_[target] = static_cast<std::uint8_t>(ProcState::kCrashed);
+    remove_runnable(target);
+    trace_event(Pid{static_cast<std::uint32_t>(target)}, TraceEvent::Kind::kCrash);
+    if (fp != nullptr) fp->crash_mask = 1ULL << target;
+    return;
+  }
+  if (idx < ef_part_base_) {  // drop event: destroy the head of d's queue
+    const std::size_t d = idx - ef_drop_base_;
+    auto& pend = pending_[d];
+    MM_ASSERT_MSG(ef_drops_left_ > 0 && !pend.empty(),
+                  "drop event fired with no budget or no in-flight message");
+    --ef_drops_left_;
+    std::pop_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+    const Message dropped = std::move(pend.back().msg);
+    pend.pop_back();
+    pending_head_[d] = pend.empty() ? kNever : pend.front().deliver_at;
+    ++metrics_.msgs_dropped;
+    trace_event(dropped.from, TraceEvent::Kind::kDrop, d, dropped.kind);
+    if (fp != nullptr) fp->drop_mask = 1ULL << d;
+    return;
+  }
+  // Partition toggles.
+  if (fp != nullptr) {
+    fp->part_toggle = true;
+    fp->part_mask = *ef.partition_mask;
+  }
+  if (idx == ef_part_base_) {
+    MM_ASSERT_MSG(!ef_on_fired_, "partition-on toggle fired twice");
+    ef_on_fired_ = true;
+    ef_part_active_ = true;
+    return;
+  }
+  MM_ASSERT_MSG(ef_on_fired_ && !ef_off_fired_, "partition-off toggle out of order");
+  ef_off_fired_ = true;
+  ef_part_active_ = false;
+  // Re-inject the held messages with their original (deliver_at, seq)
+  // stamps: the window added pure asynchrony, never a loss or a re-draw, so
+  // the flush commutes with unrelated steps (nothing here reads the clock
+  // or an RNG). The flush is recorded as sends so drains and drops at the
+  // destinations order against this toggle through the channel rules.
+  for (auto& [dest, inf] : ef_held_) {
+    if (fp != nullptr) fp->add_send(Pid{dest});
+    auto& pend = pending_[dest];
+    pend.push_back(std::move(inf));
+    std::push_heap(pend.begin(), pend.end(), &SimRuntime::delivers_later);
+    pending_head_[dest] = pend.front().deliver_at;
+  }
+  ef_held_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -414,8 +504,10 @@ void SimRuntime::activate(std::size_t pick) {
   if (record_footprints_) [[unlikely]]
     begin_slice(pick, scratch_);
   resume_proc(pick);
-  if (record_footprints_) [[unlikely]]
+  if (record_footprints_) [[unlikely]] {
+    scratch_.footprint.finishes = proc_finished_[pick] != 0;
     end_slice(pick, scratch_);
+  }
   if (proc_finished_[pick] != 0) {
     proc_state_[pick] = static_cast<std::uint8_t>(ProcState::kFinished);
     remove_runnable(pick);
@@ -431,8 +523,9 @@ void SimRuntime::set_footprint_recording(bool on) {
   record_footprints_ = on;
   if (on && obs_hash_.empty()) {
     obs_hash_.assign(config_.n(), kObsSeed);
-    last_idle_sig_.assign(config_.n(), 0);
-    last_idle_valid_.assign(config_.n(), 0);
+    idle_sig_ring_.assign(config_.n() * kIdleRing, 0);
+    idle_post_ring_.assign(config_.n() * kIdleRing, 0);
+    idle_streak_.assign(config_.n(), 0);
   }
 }
 
@@ -446,7 +539,6 @@ void SimRuntime::obs_note(Pid self, std::uint64_t tag, std::uint64_t value,
 
 void SimRuntime::begin_slice(std::size_t pick, SliceScratch& sc) {
   sc.footprint.clear(Pid{static_cast<std::uint32_t>(pick)});
-  sc.pre_obs = obs_hash_[pick];
   sc.sig = kSliceSigSeed;
   sc.got_messages = false;
 }
@@ -460,22 +552,48 @@ void SimRuntime::end_slice(std::size_t pick, SliceScratch& sc) {
                            !sc.footprint.drew_rand && !sc.footprint.observed_clock &&
                            !sc.got_messages;
   const std::uint64_t sig = sc.sig;
-  if (idle_collapse_ && effect_free && last_idle_valid_[pick] != 0 &&
-      last_idle_sig_[pick] == sig) {
-    // A spin iteration identical to the previous one: roll the observation
-    // hash back so the state maps to the same point and the explorer's
-    // state cache recognises the cycle. last_idle_* stay armed, so every
-    // further identical iteration collapses too.
-    obs_hash_[pick] = sc.pre_obs;
+  std::uint64_t& h = obs_hash_[pick];
+  if (!idle_collapse_ || !effect_free) {
+    // Default: every slice advances the observation hash (slices folded
+    // with their signature), so iteration counts distinguish states —
+    // required for timer-driven loops like Ω's monitor. An effectful slice
+    // also ends any effect-free streak.
+    h = mix64(h ^ mix64(kObsSlice ^ mix64(sig)));
+    if (idle_collapse_) idle_streak_[pick] = 0;
     return;
   }
-  // Default: every slice advances the observation hash (slices folded with
-  // their signature), so iteration counts distinguish states — required for
-  // timer-driven loops like Ω's monitor.
-  std::uint64_t& h = obs_hash_[pick];
-  h = mix64(h ^ mix64(kObsSlice ^ mix64(sig)));
-  last_idle_valid_[pick] = effect_free ? 1 : 0;
-  last_idle_sig_[pick] = sig;
+  // Effect-free slice inside a streak. If the streak's signature stream is
+  // periodic with period L (the last L signatures, current included, repeat
+  // the L before them), one whole spin period has recurred: roll the
+  // observation hash back to its value L slices ago, so states at the same
+  // spin phase map to the same hash and the explorer's state cache
+  // recognises the cycle. L = 1 is the classic identical-iteration spin;
+  // L > 1 covers await loops whose one iteration spans several scheduler
+  // slices (e.g. a remote-register read yields before the drain+step
+  // slice). Only same-phase states are ever conflated, and only under the
+  // documented spin-stateless contract (docs/RUNTIME.md).
+  std::uint64_t* sigs = &idle_sig_ring_[pick * kIdleRing];
+  std::uint64_t* posts = &idle_post_ring_[pick * kIdleRing];
+  const std::uint32_t t = idle_streak_[pick];  // current slice's streak index
+  std::size_t period = 0;
+  for (std::size_t L = 1; L <= kIdleMaxPeriod; ++L) {
+    if (t + 1 < 2 * L) break;  // need 2L slices, current included
+    bool match = sig == sigs[(t - L) % kIdleRing];
+    for (std::size_t i = 1; match && i < L; ++i)
+      match = sigs[(t - i) % kIdleRing] == sigs[(t - L - i) % kIdleRing];
+    if (match) {
+      period = L;
+      break;
+    }
+  }
+  if (period != 0) {
+    h = posts[(t - period) % kIdleRing];
+  } else {
+    h = mix64(h ^ mix64(kObsSlice ^ mix64(sig)));
+  }
+  sigs[t % kIdleRing] = sig;
+  posts[t % kIdleRing] = h;
+  idle_streak_[pick] = t + 1;
 }
 
 StateHash SimRuntime::state_hash() const {
@@ -508,19 +626,36 @@ StateHash SimRuntime::state_hash() const {
   // that reach the same state, so neither enters the hash. (Nothing is ever
   // buffered between steps outside pending_: deliveries happen only inside
   // env_drain, which pops eligible messages straight into the caller.)
-  std::vector<const InFlight*> order;
+  //
+  // With an explore_faults plan armed, messages held by the partition
+  // window fold into the SAME per-destination sequence at their merge
+  // position (stamps are preserved across the window), tagged held: the
+  // future of the queue is its merged order plus which entries a drain can
+  // currently see, and both must be part of the canonical state.
+  struct Flight {
+    const InFlight* f;
+    bool held;
+  };
+  std::vector<Flight> order;
   for (std::size_t d = 0; d < pending_.size(); ++d) {
     const auto& pend = pending_[d];
-    fold(pend.size());
-    if (pend.empty()) continue;
     order.clear();
     order.reserve(pend.size());
-    for (const InFlight& f : pend) order.push_back(&f);
-    std::sort(order.begin(), order.end(), [](const InFlight* a, const InFlight* b) {
-      return a->deliver_at != b->deliver_at ? a->deliver_at < b->deliver_at : a->seq < b->seq;
+    for (const InFlight& f : pend) order.push_back(Flight{&f, false});
+    if (ef_width_ != 0) {
+      for (const auto& [dest, f] : ef_held_)
+        if (dest == d) order.push_back(Flight{&f, true});
+    }
+    fold(order.size());
+    if (order.empty()) continue;
+    std::sort(order.begin(), order.end(), [](const Flight& a, const Flight& b) {
+      return a.f->deliver_at != b.f->deliver_at ? a.f->deliver_at < b.f->deliver_at
+                                                : a.f->seq < b.f->seq;
     });
-    for (const InFlight* f : order) {
+    for (const Flight& fl : order) {
+      const InFlight* f = fl.f;
       fold(f->deliver_at > global_step_ ? f->deliver_at - global_step_ : 0);
+      if (ef_width_ != 0) fold(fl.held ? 1 : 0);
       fold(f->msg.from.value());
       fold((static_cast<std::uint64_t>(f->msg.kind) << 32) ^ f->msg.round);
       fold(f->msg.value);
@@ -532,6 +667,15 @@ StateHash SimRuntime::state_hash() const {
       }
     }
   }
+  // Explorer fault-plan scalars: the remaining drop budget and the toggle
+  // lifecycle decide which pseudo-events are still enabled, so states that
+  // differ there must not coincide. (Crash firings already show through
+  // proc_state_.) Folded only when a plan is armed, so legacy hashes are
+  // byte-identical.
+  if (ef_width_ != 0) {
+    fold(ef_drops_left_);
+    fold((ef_on_fired_ ? 1ULL : 0ULL) | (ef_off_fired_ ? 2ULL : 0ULL));
+  }
   return StateHash{lo, hi};
 }
 
@@ -542,14 +686,26 @@ bool SimRuntime::step_once() {
   if (runnable_.empty()) return false;
 
   // Externally driven schedules (exhaustive exploration) bypass the
-  // adversary entirely.
+  // adversary entirely. With an explore_faults plan armed, the enabled
+  // fault pseudo-pids follow the real runnable pids in the list; choosing
+  // one fires the fault as a zero-time transition. (Pseudo events are only
+  // offered while at least one real process is runnable — the empty check
+  // above returns first — which keeps run loops free of zero-progress
+  // tails; each pseudo event fires at most budget-many times, so a run
+  // still terminates.)
   if (schedule_policy_) {
     policy_scratch_.clear();
-    policy_scratch_.reserve(runnable_.size());
+    policy_scratch_.reserve(runnable_.size() + ef_width_);
     for (const std::size_t i : runnable_) policy_scratch_.push_back(Pid{static_cast<std::uint32_t>(i)});
+    const std::size_t nreal = policy_scratch_.size();
+    if (ef_width_ != 0) ef_append_enabled(policy_scratch_);
     const std::size_t choice = schedule_policy_(policy_scratch_);
-    MM_ASSERT_MSG(choice < runnable_.size(), "schedule policy choice out of range");
-    activate(runnable_[choice]);
+    MM_ASSERT_MSG(choice < policy_scratch_.size(), "schedule policy choice out of range");
+    if (choice < nreal) {
+      activate(runnable_[choice]);
+    } else {
+      ef_fire(policy_scratch_[choice].index() - config_.n());
+    }
     return true;
   }
 
@@ -859,6 +1015,16 @@ void SimRuntime::env_send(Pid from, Pid to, Message m) {
     if (burst && burst_.extra_delay_max > 0)
       deliver_at += fault_rng_.between(0, burst_.extra_delay_max);
     deliver_at = partition_hold(from, to, deliver_at, link_rng_);
+    if (ef_part_active_) [[unlikely]] {
+      // Explorer partition window: crossing sends are held (with their
+      // already-drawn stamp and the next seq, exactly as if enqueued) until
+      // the off toggle re-injects them. The send was counted above, so
+      // send-metrics oracles are window-invariant.
+      if (detail::mask_crosses(*config_.explore_faults->partition_mask, from, to)) {
+        ef_held_.emplace_back(to.index(), InFlight{deliver_at, send_seq_++, std::move(m)});
+        return;
+      }
+    }
     if (burst && fault_rng_.bernoulli(burst_.dup_prob)) {
       // Link-level duplication: the copy travels independently (own delay,
       // own partition hold) and is not counted as a send by `from`.

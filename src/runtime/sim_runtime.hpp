@@ -180,8 +180,13 @@ class SimRuntime {
   /// The current global step. From a FaultInjector hook in partitioned mode
   /// this is the calling partition's local clock (each LP replays the rules
   /// on its own timeline); everywhere else it is the single global counter.
+  /// The partitioned_ gate both skips the TLS read on the sequential hot
+  /// path (tl_part_.rt can only equal a partitioned runtime) and keeps
+  /// gcc's UBSan from hoisting the thread-local's null check above the
+  /// wrapper call in tight caller loops (a false positive at -O2).
   [[nodiscard]] Step now() const noexcept {
-    return tl_part_.rt == this ? *tl_part_.clock : global_step_;
+    if (partitioned_ && tl_part_.rt == this) [[unlikely]] return *tl_part_.clock;
+    return global_step_;
   }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
@@ -232,6 +237,15 @@ class SimRuntime {
   /// exhaustive schedule explorer drives.
   using SchedulePolicy = std::function<std::size_t(const std::vector<Pid>& runnable)>;
   void set_schedule_policy(SchedulePolicy policy) { schedule_policy_ = std::move(policy); }
+
+  /// Schedule width a policy-driven run exposes: the n real processes plus
+  /// the fault pseudo-processes of SimConfig::explore_faults (== n when no
+  /// plan is armed). Enabled pseudo-pids (indices n .. sched_width()-1) are
+  /// appended after the real runnable pids in the policy's list; choosing
+  /// one fires the fault as a zero-time transition (global step unchanged)
+  /// whose footprint carries the matching fault dependency class. The
+  /// explorer sizes its masks and per-pid tables with this, not n().
+  [[nodiscard]] std::size_t sched_width() const noexcept { return config_.n() + ef_width_; }
 
   // -- model-checker hooks (footprints + canonical state hashes) -------------
   // The third runtime hook family, next to trace_event and FaultInjector:
@@ -383,6 +397,16 @@ class SimRuntime {
   /// kFinished/kCrashed transitions are one-way, so the list only shrinks).
   void remove_runnable(std::size_t idx);
   void apply_crash_plan();
+  // -- explorer fault plan (SimConfig::explore_faults) -----------------------
+  /// Append the currently-enabled fault pseudo-pids to `out` (policy path
+  /// only). Enabledness is a pure function of the canonically-hashed state:
+  /// a crash event is enabled while its target is parked, a drop event
+  /// while the shared budget is positive and its destination has in-flight
+  /// messages, the partition toggles while unfired (off only after on).
+  void ef_append_enabled(std::vector<Pid>& out);
+  /// Fire pseudo-event `idx` (relative to n): a zero-time transition that
+  /// records its footprint directly (no process slice runs).
+  void ef_fire(std::size_t idx);
   void check_register_access(Pid accessor, RegId r) const;
   /// Throws MemoryFailure while r's host is inside a failure window. Split
   /// from check_register_access so env_reg (naming) stays available during
@@ -435,7 +459,6 @@ class SimRuntime {
   /// so footprint recording composes with concurrent slices.
   struct SliceScratch {
     StepFootprint footprint;   ///< footprint of the slice in flight / just retired
-    std::uint64_t pre_obs = 0; ///< obs hash snapshot at slice entry
     std::uint64_t sig = 0;     ///< observation signature of the slice in flight
     bool got_messages = false; ///< slice drained a non-empty inbox
   };
@@ -479,6 +502,21 @@ class SimRuntime {
   /// steps pass so apply_crash_plan is O(1) when nothing is due.
   std::vector<std::pair<Step, std::uint32_t>> crash_schedule_;
   std::size_t crash_next_ = 0;
+
+  // Explorer fault plan state (all zero/empty without explore_faults, so
+  // legacy runs and hashes are untouched). Layout cached from the config:
+  // crash events at [0, ef_drop_base_), per-destination drop events at
+  // [ef_drop_base_, ef_part_base_), then partition-on and partition-off.
+  std::size_t ef_width_ = 0;         ///< pseudo-process count (0 = no plan)
+  std::size_t ef_drop_base_ = 0;
+  std::size_t ef_part_base_ = 0;
+  std::uint32_t ef_drops_left_ = 0;  ///< shared drop budget remaining
+  bool ef_on_fired_ = false;
+  bool ef_off_fired_ = false;
+  bool ef_part_active_ = false;      ///< explorer partition window open
+  /// Messages held across the window, (destination, in-flight) in send
+  /// order; re-injected with their original stamps by the off toggle.
+  std::vector<std::pair<std::uint32_t, InFlight>> ef_held_;
   bool started_ = false;
   bool shut_down_ = false;
   std::atomic<bool> stop_requested_{false};
@@ -528,8 +566,20 @@ class SimRuntime {
   bool idle_collapse_ = false;
   SliceScratch scratch_;                 ///< sequential-mode slice scratch
   std::vector<std::uint64_t> obs_hash_;  ///< per-process rolling observation hash
-  std::vector<std::uint64_t> last_idle_sig_;  ///< per-process last effect-free slice signature
-  std::vector<char> last_idle_valid_;         ///< previous slice was effect-free
+  // Idle-spin collapse state (set_idle_slice_collapse): per process, a ring
+  // of the last kIdleRing effect-free slice signatures and post-slice
+  // observation hashes, plus the current effect-free streak length. A spin
+  // whose signature stream is periodic with period <= kIdleMaxPeriod rolls
+  // its observation hash back one full period, so same-phase states hash
+  // equal and the explorer's state cache recognises the cycle. Periods > 1
+  // arise whenever one await iteration spans several scheduler slices (a
+  // remote-register read is its own yield point ahead of the drain+step
+  // slice — e.g. ABD servers polling a global result register).
+  static constexpr std::size_t kIdleRing = 8;
+  static constexpr std::size_t kIdleMaxPeriod = 4;
+  std::vector<std::uint64_t> idle_sig_ring_;   ///< n * kIdleRing signatures
+  std::vector<std::uint64_t> idle_post_ring_;  ///< n * kIdleRing post-slice obs
+  std::vector<std::uint32_t> idle_streak_;     ///< consecutive effect-free slices
 
   Metrics metrics_;
 

@@ -3,10 +3,12 @@
 // planted-bug story (violation -> ddmin -> JSON repro -> replay).
 #include <gtest/gtest.h>
 
+#include "check/instances.hpp"
 #include "core/tags.hpp"
 #include "core/trial.hpp"
 #include "fault/campaign.hpp"
 #include "fault/engine.hpp"
+#include "fault/explore_bridge.hpp"
 #include "fault/json.hpp"
 #include "fault/shrink.hpp"
 #include "graph/generators.hpp"
@@ -284,6 +286,150 @@ TEST(ChaosCampaign, PlantedBugIsFoundShrunkAndReplayed) {
   const ChaosOutcome replay_out = run_chaos_case(replayed);
   ASSERT_TRUE(replay_out.violation.has_value());
   EXPECT_EQ(replay_out.violation->oracle, recorded->oracle);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos -> check bridge: from one sampled repro to an exhaustive proof
+// ---------------------------------------------------------------------------
+
+TEST(ChaosBridge, ShrunkReproReplaysExhaustivelyUnderDpor) {
+  // Plant: HBO on the edgeless n=3 graph (= pure Ben-Or) with a schedule
+  // crashing p1 and p2 — above the majority bound, so the (false)
+  // termination invariant breaks. One noise rule for the shrinker to
+  // discard; it could not be bridged (duplication), which is the point:
+  // shrinking is what maps a chaos finding into the explorable fragment.
+  ChaosCase c = base_case(3, Topology::kEdgeless);
+  c.budget = 60'000;
+  for (std::uint32_t p = 1; p < 3; ++p) {
+    FaultRule r;
+    r.trigger = Trigger::kAtStep;
+    r.count = 10 * p;
+    r.action = Action::kCrash;
+    r.target = Pid{p};
+    c.rules.push_back(r);
+  }
+  {
+    FaultRule noise;
+    noise.trigger = Trigger::kAtStep;
+    noise.count = 400;
+    noise.action = Action::kLinkBurst;
+    noise.duration = 100;
+    noise.dup_prob = 0.3;
+    c.rules.push_back(noise);
+  }
+
+  // 1. The campaign-side oracle catches the sampled violation and ddmin
+  //    shrinks the schedule to exactly the two crashes (dropping either
+  //    leaves a live majority, which decides).
+  const ChaosOutcome out = run_chaos_case(c);
+  ASSERT_TRUE(out.violation.has_value());
+  EXPECT_EQ(out.violation->oracle, Oracle::kTermination);
+  const ShrinkResult shrunk = shrink_case(c);
+  EXPECT_EQ(shrunk.rules_after, 2u);
+  for (const FaultRule& r : shrunk.minimized.rules)
+    EXPECT_EQ(r.action, Action::kCrash);
+
+  // 2. Bridge the emitted repro document: the sampled crash *steps* are
+  //    discarded and each crash becomes an explorer-owned pseudo-event.
+  const std::string doc = repro_to_string(shrunk.minimized, &shrunk.violation);
+  const BridgedRepro bridged = bridge_repro(doc);
+  ASSERT_TRUE(bridged.recorded.has_value());
+  EXPECT_EQ(bridged.recorded->oracle, Oracle::kTermination);
+  EXPECT_TRUE(bridged.instance.expect_violation);
+  EXPECT_FALSE(bridged.instance.dpor.idle_slice_collapse)
+      << "a claimed livelock must surface as truncation, not a cycle prune";
+
+  // 3. DPOR rediscovers the SAME oracle violation — now as a schedule it
+  //    *constructed* (both crash events fired before the quorum formed),
+  //    not one the campaign sampled. The replay budget is pinned: a
+  //    reduction bug that skips crash placements shows up as a blown pin.
+  const check::InstanceVerdict v = check_instance_dpor(bridged.instance);
+  ASSERT_TRUE(v.violation.has_value());
+  EXPECT_EQ(violation_oracle(*v.violation), Oracle::kTermination);
+  EXPECT_LE(v.violation_run, 50u) << "crash placements should trip early";
+}
+
+TEST(ChaosBridge, CleanReproVerifiesCleanAcrossPlacements) {
+  // A repro with no recorded violation: a transient partition the sampled
+  // run survived. The bridge turns the one sampled window into explorer-
+  // owned toggles, so every explored schedule re-proves the decision under
+  // a *different* placement (including "never opens"). Full HBO instances
+  // run to millions of schedules, so the unit test caps the replay budget;
+  // the run-to-exhaustion versions are the E19 corpus instances
+  // (hbo3-anycrash and friends, docs/EXPERIMENTS.md).
+  ChaosCase c = base_case(2, Topology::kComplete);
+  FaultRule cut;
+  cut.trigger = Trigger::kAtStep;
+  cut.count = 25;
+  cut.action = Action::kPartition;
+  cut.mask = 0b01;
+  cut.duration = 200;
+  c.rules.push_back(cut);
+  FaultRule heal;
+  heal.action = Action::kHealPartition;
+  heal.trigger = Trigger::kAtStep;
+  heal.count = 300;
+  c.rules.push_back(heal);  // subsumed: the explorer owns the off-toggle
+  const BridgedRepro bridged = bridge_repro(repro_to_string(c, nullptr));
+  EXPECT_FALSE(bridged.recorded.has_value());
+  EXPECT_FALSE(bridged.instance.expect_violation);
+  EXPECT_NE(bridged.instance.description.find("partition window"),
+            std::string::npos);
+
+  check::DporOptions opts = bridged.instance.dpor;
+  opts.max_runs = 5'000;
+  const check::InstanceVerdict v = check_instance_dpor(bridged.instance, opts);
+  EXPECT_FALSE(v.violation.has_value()) << *v.violation;
+  EXPECT_EQ(v.result.runs, 5'000u) << "the toggle placements alone exceed "
+                                      "the cap; fewer runs means the fault "
+                                      "pseudo-events went unscheduled";
+}
+
+TEST(ChaosBridge, OutsideFragmentCasesAreRejectedWithReasons) {
+  // Ω cases lean on real time — no bridge.
+  {
+    ChaosCase c;
+    c.kind = CaseKind::kOmega;
+    EXPECT_THROW((void)instance_from_chaos(c, nullptr), BridgeError);
+  }
+  // Byzantine interposition has no dependency class (same contract the
+  // explorer's config validation pins).
+  {
+    ChaosCase c = base_case(3, Topology::kComplete);
+    FaultRule r;
+    r.action = Action::kGoByzantine;
+    r.target = Pid{1};
+    c.rules.push_back(r);
+    EXPECT_THROW((void)instance_from_chaos(c, nullptr), BridgeError);
+  }
+  // Memory-failure windows and baseline random crashes: explicit rejects.
+  {
+    ChaosCase c = base_case(3, Topology::kComplete);
+    FaultRule r;
+    r.action = Action::kMemoryWindow;
+    r.target = Pid{1};
+    c.rules.push_back(r);
+    EXPECT_THROW((void)instance_from_chaos(c, nullptr), BridgeError);
+  }
+  {
+    ChaosCase c = base_case(3, Topology::kComplete);
+    c.f = 1;
+    EXPECT_THROW((void)instance_from_chaos(c, nullptr), BridgeError);
+  }
+  // A burst that only drops bridges onto the drop budget; duplication does
+  // not.
+  {
+    ChaosCase c = base_case(3, Topology::kComplete);
+    FaultRule r;
+    r.action = Action::kLinkBurst;
+    r.drop_prob = 0.5;
+    c.rules.push_back(r);
+    const check::Instance in = instance_from_chaos(c, nullptr);
+    EXPECT_NE(in.description.find("drop budget 1"), std::string::npos);
+    r.dup_prob = 0.5;
+    c.rules.push_back(r);
+    EXPECT_THROW((void)instance_from_chaos(c, nullptr), BridgeError);
+  }
 }
 
 TEST(ChaosShrink, TerminationViolationsSkipBudgetShrink) {

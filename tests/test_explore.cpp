@@ -10,6 +10,7 @@
 #include "check/explore.hpp"
 #include "core/mutex.hpp"
 #include "graph/generators.hpp"
+#include "runtime/footprint.hpp"
 #include "shm/adopt_commit.hpp"
 #include "shm/consensus_object.hpp"
 
@@ -349,6 +350,235 @@ TEST(Explore, MutualExclusionBoundedExploration) {
   // Some explored branches livelock a spinner past the step budget; mutual
   // exclusion must hold on every branch regardless.
   EXPECT_GT(result.runs, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// footprints_dependent: the dependency matrix, class by class
+// ---------------------------------------------------------------------------
+
+// The independence relation is the DPOR soundness core: two steps may be
+// declared independent ONLY if swapping them reaches the same state from
+// every state where both are enabled. Each "dependent" row below carries its
+// commutation counterexample in the name; each "independent" row is a pair
+// the explorer is allowed to collapse. Pseudo-pids (>= 100 here) stand in
+// for fault events, which are steps of their own scheduled pseudo-process.
+
+using runtime::footprints_dependent;
+using runtime::StepFootprint;
+
+StepFootprint step_of(std::uint32_t pid) {
+  StepFootprint f;
+  f.clear(Pid{pid});
+  return f;
+}
+
+StepFootprint crash_of(std::uint32_t victim, std::uint32_t pseudo) {
+  StepFootprint f = step_of(pseudo);
+  f.crash_mask = std::uint64_t{1} << victim;
+  return f;
+}
+
+StepFootprint drop_to(std::uint32_t dest, std::uint32_t pseudo) {
+  StepFootprint f = step_of(pseudo);
+  f.drop_mask = std::uint64_t{1} << dest;
+  return f;
+}
+
+StepFootprint toggle_cut(std::uint64_t side_a, std::uint32_t pseudo) {
+  StepFootprint f = step_of(pseudo);
+  f.part_toggle = true;
+  f.part_mask = side_a;
+  return f;
+}
+
+TEST(FootprintClasses, DependencyMatrixCoversEveryClassPair) {
+  const RegKey ra = RegKey::make(kTag, Pid{0}, 1);
+  const RegKey rb = RegKey::make(kTag, Pid{0}, 2);
+
+  struct Row {
+    const char* why;
+    StepFootprint a;
+    StepFootprint b;
+    bool dependent;
+  };
+  std::vector<Row> rows;
+  const auto row = [&rows](const char* why, StepFootprint a, StepFootprint b,
+                           bool dependent) {
+    rows.push_back(Row{why, std::move(a), std::move(b), dependent});
+  };
+
+  // -- register and channel classes (the pre-fault baseline) --
+  {
+    StepFootprint w0 = step_of(0), r1 = step_of(1);
+    w0.add_write(ra);
+    r1.add_read(ra);
+    row("write/read same register: read sees the write iff it runs second", w0,
+        r1, true);
+  }
+  {
+    StepFootprint w0 = step_of(0), w1 = step_of(1);
+    w0.add_write(ra);
+    w1.add_write(ra);
+    row("write/write same register: last writer wins", w0, w1, true);
+  }
+  {
+    StepFootprint a = step_of(0), b = step_of(1);
+    a.add_read(ra);
+    b.add_read(ra);
+    row("read/read same register commutes", a, b, false);
+  }
+  {
+    StepFootprint a = step_of(0), b = step_of(1);
+    a.add_write(ra);
+    b.add_write(rb);
+    row("writes to disjoint registers commute", a, b, false);
+  }
+  {
+    StepFootprint s = step_of(0), t = step_of(1);
+    s.add_send(Pid{2});
+    t.add_send(Pid{2});
+    row("two sends to one destination: inbox order is observable", s, t, true);
+  }
+  {
+    StepFootprint s = step_of(0), d = step_of(2);
+    s.add_send(Pid{2});
+    d.drained = true;
+    row("send racing the destination's drain: delivery lands before or after",
+        s, d, true);
+  }
+  {
+    StepFootprint s = step_of(0), d = step_of(2);
+    s.add_send(Pid{1});
+    d.drained = true;
+    row("send to p1 vs p2's drain commutes", s, d, false);
+  }
+  {
+    StepFootprint c = step_of(0), b = step_of(1);
+    c.observed_clock = true;
+    row("clock observation: time advances with every step", c, b, true);
+  }
+  {
+    row("same process: program order", step_of(0), step_of(0), true);
+  }
+
+  // -- crash class --
+  row("crash-of-p1 vs p1's step: the crash disables it (and its last step "
+      "disables the crash)",
+      crash_of(1, 100), step_of(1), true);
+  {
+    StepFootprint s = step_of(0);
+    s.add_send(Pid{1});
+    row("crash-of-p1 vs send-to-p1: landing before or after the crash "
+        "decides if p1 can ever drain it",
+        crash_of(1, 100), s, true);
+  }
+  row("crash-of-p1 vs p2's silent step commutes", crash_of(1, 100), step_of(2),
+      false);
+
+  // -- drop class --
+  {
+    StepFootprint s = step_of(0);
+    s.add_send(Pid{1});
+    row("drop-to-p1 vs send-to-p1: which message is at the queue head", //
+        drop_to(1, 101), s, true);
+  }
+  {
+    StepFootprint d = step_of(1);
+    d.drained = true;
+    row("drop-to-p1 vs p1's drain: drop-then-drain delivers one fewer",
+        drop_to(1, 101), d, true);
+  }
+  row("drop-to-p1 vs p2's silent step commutes", drop_to(1, 101), step_of(2),
+      false);
+
+  // -- partition-toggle class --
+  {
+    StepFootprint s = step_of(0);
+    s.add_send(Pid{1});
+    row("toggle of {p0}|{p1,..} vs a crossing send: held back or delivered",
+        toggle_cut(0b001, 102), s, true);
+  }
+  {
+    StepFootprint s = step_of(1);
+    s.add_send(Pid{2});
+    row("toggle of {p0}|{p1,p2} vs a same-side send commutes",
+        toggle_cut(0b001, 102), s, false);
+  }
+
+  // -- fault x fault: all pairs interfere (shared drop budget, window
+  //    ordering, and any crash can close the >=1-real-runnable gate) --
+  row("crash vs crash: the first can retire the last runnable process and "
+      "disable the second",
+      crash_of(1, 100), crash_of(2, 103), true);
+  row("drop vs drop: both draw from the one budget", drop_to(1, 101),
+      drop_to(2, 104), true);
+  row("toggle vs toggle: on/off order IS the window", toggle_cut(0b001, 102),
+      toggle_cut(0b001, 105), true);
+  row("crash vs drop: the crash can close the scheduling gate",
+      crash_of(2, 100), drop_to(1, 101), true);
+  row("crash vs toggle: the crash can close the scheduling gate",
+      crash_of(2, 100), toggle_cut(0b001, 102), true);
+  row("drop vs toggle: the toggle decides whether the droppable message is "
+      "in flight or held",
+      drop_to(1, 101), toggle_cut(0b001, 102), true);
+
+  // -- finishes class: fault events are schedulable only while >= 1 real
+  //    process is runnable, so the step retiring the LAST real process
+  //    closes that gate without touching anything the fault touches --
+  {
+    StepFootprint fin = step_of(2);
+    fin.finishes = true;
+    row("crash vs a finishing step: finish-then-crash may not exist",
+        crash_of(1, 100), fin, true);
+  }
+  {
+    StepFootprint fin = step_of(2);
+    fin.finishes = true;
+    row("drop vs a finishing step: finish-then-drop may not exist",
+        drop_to(1, 101), fin, true);
+  }
+  {
+    StepFootprint fin = step_of(2);
+    fin.finishes = true;
+    row("toggle vs a finishing step: finish-then-toggle may not exist",
+        toggle_cut(0b001, 102), fin, true);
+  }
+  {
+    StepFootprint f1 = step_of(0), f2 = step_of(1);
+    f1.finishes = true;
+    f2.finishes = true;
+    row("two ordinary finishing steps commute (finishes only gates faults)",
+        f1, f2, false);
+  }
+
+  for (const Row& r : rows) {
+    EXPECT_EQ(footprints_dependent(r.a, r.b), r.dependent) << r.why;
+    EXPECT_EQ(footprints_dependent(r.b, r.a), r.dependent)
+        << r.why << " (relation must be symmetric)";
+  }
+}
+
+TEST(FootprintClasses, MergePreservesFaultMarkers) {
+  // The DPOR state cache merges whole subtrees into one aggregate footprint;
+  // losing a fault marker would leave sleeping siblings asleep that the
+  // subtree's events should wake.
+  StepFootprint agg = step_of(0);
+  agg.merge(crash_of(1, 100));
+  agg.merge(drop_to(2, 101));
+  agg.merge(toggle_cut(0b011, 102));
+  StepFootprint fin = step_of(3);
+  fin.finishes = true;
+  agg.merge(fin);
+  EXPECT_EQ(agg.crash_mask, std::uint64_t{1} << 1);
+  EXPECT_EQ(agg.drop_mask, std::uint64_t{1} << 2);
+  EXPECT_TRUE(agg.part_toggle);
+  EXPECT_EQ(agg.part_mask, 0b011u);
+  EXPECT_TRUE(agg.finishes);
+  // The aggregate must now conflict with everything each class conflicts
+  // with — e.g. a send to the dropped destination.
+  StepFootprint s = step_of(4);
+  s.add_send(Pid{2});
+  EXPECT_TRUE(footprints_dependent(agg, s));
 }
 
 }  // namespace

@@ -16,14 +16,26 @@
 //     ones only, unless named explicitly) and require the same verdict AND
 //     the same reachable final-state set, with DPOR using no more replays.
 //
+//   check replay FILE... [--max-runs N] [--max-steps N] [--frontier D]
+//                        [--jobs J]
+//     Chaos -> check bridge: parse each chaos repro document (the JSON
+//     `tools/chaos` / the shrinker emit), lift its fault schedule into the
+//     explorable fragment (fault/explore_bridge.hpp), and explore it
+//     EXHAUSTIVELY — every trigger placement the campaign sampled, and all
+//     the others. Exit 0 when every repro that records a violation
+//     rediscovers the SAME oracle, and every clean repro verifies clean.
+//
 // Everything here is deterministic: rerunning a command reproduces the same
 // run counts and verdicts bit-for-bit at any --jobs / MM_JOBS value.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/instances.hpp"
+#include "fault/explore_bridge.hpp"
 
 namespace {
 
@@ -37,6 +49,8 @@ int usage() {
                "                 [--bound K] [--frontier D] [--jobs J]\n"
                "                 [--no-cache] [--no-sleep]\n"
                "       check diff NAME...\n"
+               "       check replay FILE... [--max-runs N] [--max-steps N]\n"
+               "                 [--frontier D] [--jobs J]\n"
                "(NAME may be 'all')\n");
   return 2;
 }
@@ -194,6 +208,80 @@ int cmd_diff(int argc, char** argv) {
   return ok ? 0 : 1;
 }
 
+int cmd_replay(int argc, char** argv) {
+  std::vector<std::string> files;
+  DporOptions over;
+  bool have_max_runs = false, have_max_steps = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error{"missing value for " + a};
+      return argv[++i];
+    };
+    if (a == "--max-runs") { over.max_runs = std::strtoull(next(), nullptr, 10); have_max_runs = true; }
+    else if (a == "--max-steps") { over.max_steps_per_run = std::strtoull(next(), nullptr, 10); have_max_steps = true; }
+    else if (a == "--frontier") over.frontier_depth = std::strtoull(next(), nullptr, 10);
+    else if (a == "--jobs") over.jobs = std::strtoull(next(), nullptr, 10);
+    else if (!a.empty() && a[0] == '-') return usage();
+    else files.push_back(a);
+  }
+  if (files.empty()) return usage();
+
+  bool ok = true;
+  for (const std::string& file : files) {
+    std::ifstream in{file};
+    if (!in) {
+      std::fprintf(stderr, "check: cannot read '%s'\n", file.c_str());
+      ok = false;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    fault::BridgedRepro bridged;
+    try {
+      bridged = fault::bridge_repro(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "check: %s: %s\n", file.c_str(), e.what());
+      ok = false;
+      continue;
+    }
+    std::printf("%s — %s\n", file.c_str(), bridged.instance.description.c_str());
+    if (bridged.recorded)
+      std::printf("  repro records a %s violation: %s\n",
+                  fault::to_string(bridged.recorded->oracle),
+                  bridged.recorded->detail.c_str());
+    DporOptions o = bridged.instance.dpor;
+    if (have_max_runs) o.max_runs = over.max_runs;
+    if (have_max_steps) o.max_steps_per_run = over.max_steps_per_run;
+    o.frontier_depth = over.frontier_depth;
+    o.jobs = over.jobs;
+    const InstanceVerdict v = check_instance_dpor(bridged.instance, o);
+    print_result("dpor", v);
+    if (bridged.recorded) {
+      const auto found = v.violation ? fault::violation_oracle(*v.violation)
+                                     : std::nullopt;
+      if (!v.violation) {
+        std::printf("  FAIL: recorded violation was not rediscovered\n");
+        ok = false;
+      } else if (found != bridged.recorded->oracle) {
+        std::printf("  FAIL: rediscovered a different oracle (%s)\n",
+                    found ? fault::to_string(*found) : "unparsable");
+        ok = false;
+      } else {
+        std::printf("  ok: same oracle rediscovered exhaustively\n");
+      }
+    } else if (v.violation) {
+      std::printf("  FAIL: clean repro produced a violation under exhaustive "
+                  "exploration\n");
+      ok = false;
+    } else {
+      std::printf("  ok: clean on every fault placement (%s)\n",
+                  to_string(v.result.exhaustiveness));
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,6 +291,7 @@ int main(int argc, char** argv) {
     if (cmd == "list") return cmd_list();
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+    if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "check: %s\n", e.what());
     return 1;
